@@ -1,0 +1,73 @@
+// Ablation A2: pipeline depth sweep.
+//
+// The paper pipelines the multiplier into exactly two stages. This bench
+// sweeps 1..4 stages for every Fig. 8 sharing topology and shows why 2 is
+// the sweet spot: the system clock stops improving once the mux+ALU+shift
+// path dominates (15.3 ns), while every extra stage still costs pipeline-
+// register area and multi-cycle multiplication latency.
+#include <iostream>
+
+#include "arch/presets.hpp"
+#include "bench_common.hpp"
+#include "core/evaluator.hpp"
+#include "kernels/registry.hpp"
+#include "sched/mapper.hpp"
+#include "synth/synthesis.hpp"
+
+int main() {
+  using namespace rsp;
+  bench::print_header("Ablation: pipeline stage sweep (1..4 stages)");
+
+  const synth::SynthesisModel synth;
+  const core::RspEvaluator evaluator;
+  const auto domain = kernels::paper_suite();
+
+  // Pre-map every kernel once.
+  std::vector<sched::PlacedProgram> programs;
+  for (const auto& w : domain) {
+    const sched::LoopPipeliner mapper(w.array);
+    programs.push_back(mapper.map(w.kernel, w.hints, w.reduction));
+  }
+  const arch::Architecture base = arch::base_architecture();
+  long base_cycles = 0;
+  for (const auto& p : programs)
+    base_cycles += evaluator.evaluate(p, base).cycles;
+  const double base_time = static_cast<double>(base_cycles) * 26.0;
+
+  util::Table table({"Topology", "Stages", "Clock (ns)", "Area (slices)",
+                     "Domain cycles", "Domain time (ns)", "vs base (%)"});
+  util::CsvWriter csv({"topology", "stages", "clock_ns", "area",
+                       "cycles", "time_ns"});
+
+  for (int variant = 1; variant <= 2; ++variant) {
+    for (int stages = 1; stages <= 4; ++stages) {
+      const arch::Architecture a =
+          stages == 1 ? arch::rs_architecture(variant)
+                      : arch::rsp_architecture(variant, 8, 8, stages);
+      long cycles = 0;
+      for (const auto& p : programs)
+        cycles += evaluator.evaluate(p, a).cycles;
+      const double clock = synth.clock_ns(a);
+      const double area = synth.area(a);
+      const double time = static_cast<double>(cycles) * clock;
+      table.add_row({"#" + std::to_string(variant), std::to_string(stages),
+                     util::format_trimmed(clock, 2),
+                     util::format_trimmed(area, 0), std::to_string(cycles),
+                     util::format_trimmed(time, 0),
+                     util::format_trimmed(
+                         100.0 * (base_time - time) / base_time, 1)});
+      csv.add_row({"#" + std::to_string(variant), std::to_string(stages),
+                   util::format_trimmed(clock, 2),
+                   util::format_trimmed(area, 0), std::to_string(cycles),
+                   util::format_trimmed(time, 1)});
+    }
+    table.add_separator();
+  }
+  std::cout << table.render()
+            << "\nTwo stages capture the whole clock gain (the multiplier "
+               "stage falls below\nthe 15.3 ns primitive path); deeper "
+               "pipelines only add latency cycles and\nregister area — "
+               "consistent with the paper's choice of 2 stages.\n";
+  bench::maybe_write_csv(csv, "ablation_stages");
+  return 0;
+}

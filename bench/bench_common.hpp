@@ -1,0 +1,40 @@
+// Shared helpers for the table-regeneration benches: each bench binary
+// reproduces one table or figure of the paper, printing measured values
+// side by side with the paper's published numbers and writing a CSV next
+// to the pretty table.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rsp::bench {
+
+inline void print_header(const std::string& what) {
+  std::cout << "\n=== " << what << " ===\n";
+}
+
+/// "measured (paper X)" cell formatting.
+inline std::string vs_paper(double measured, double paper, int digits = 2) {
+  return util::format_trimmed(measured, digits) + " (" +
+         util::format_trimmed(paper, digits) + ")";
+}
+
+inline std::string vs_paper_int(long measured, long paper) {
+  return std::to_string(measured) + " (" + std::to_string(paper) + ")";
+}
+
+/// Writes the CSV twin of a table if RSP_BENCH_CSV_DIR is set.
+inline void maybe_write_csv(const util::CsvWriter& csv,
+                            const std::string& name) {
+  const char* dir = std::getenv("RSP_BENCH_CSV_DIR");
+  if (!dir) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  csv.write_file(path);
+  std::cout << "[csv written to " << path << "]\n";
+}
+
+}  // namespace rsp::bench

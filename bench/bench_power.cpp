@@ -1,0 +1,70 @@
+// Extension bench (paper §6 future work): energy/power comparison of the
+// nine architectures across the kernel suite, using the activity-based
+// power model. Energy units are normalised (slice-activations); ratios
+// between architectures are the meaningful output.
+#include <iostream>
+
+#include "arch/presets.hpp"
+#include "bench_common.hpp"
+#include "kernels/registry.hpp"
+#include "power/power.hpp"
+#include "sched/mapper.hpp"
+#include "sched/scheduler.hpp"
+
+int main() {
+  using namespace rsp;
+  bench::print_header(
+      "Extension: energy per kernel run (normalised units; paper future work)");
+
+  const power::PowerModel model;
+  const sched::ContextScheduler scheduler;
+  util::CsvWriter csv({"kernel", "arch", "dynamic", "leakage", "total",
+                       "avg_power"});
+
+  // Per-architecture totals across the suite.
+  const auto archs = arch::standard_suite();
+  std::vector<double> totals(archs.size(), 0.0);
+
+  for (const kernels::Workload& w : kernels::paper_suite()) {
+    const sched::LoopPipeliner mapper(w.array);
+    const sched::PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+    util::Table table({"Arch", "dynamic", "leakage", "total", "avg power"});
+    table.set_title(w.name);
+    double base_total = 0;
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+      const power::PowerReport r =
+          model.estimate(scheduler.schedule(p, archs[i]));
+      if (i == 0) base_total = r.energy.total();
+      totals[i] += r.energy.total();
+      table.add_row({archs[i].name,
+                     util::format_trimmed(r.energy.dynamic_total(), 0),
+                     util::format_trimmed(r.energy.leakage, 0),
+                     util::format_trimmed(r.energy.total(), 0) + " (" +
+                         util::format_trimmed(
+                             100.0 * r.energy.total() / base_total, 1) +
+                         "%)",
+                     util::format_trimmed(r.average_power, 1)});
+      csv.add_row({w.name, archs[i].name,
+                   util::format_trimmed(r.energy.dynamic_total(), 1),
+                   util::format_trimmed(r.energy.leakage, 1),
+                   util::format_trimmed(r.energy.total(), 1),
+                   util::format_trimmed(r.average_power, 2)});
+    }
+    std::cout << table.render() << "\n";
+  }
+
+  util::Table summary({"Arch", "Suite energy", "vs base (%)"});
+  for (std::size_t i = 0; i < archs.size(); ++i)
+    summary.add_row({archs[i].name, util::format_trimmed(totals[i], 0),
+                     util::format_trimmed(100.0 * totals[i] / totals[0], 1)});
+  std::cout << summary.render()
+            << "\nThe trade-off the model exposes: sharing cuts leakage"
+               " (40% smaller array)\nand pipelining cuts runtime, but every"
+               " shared multiplication also pays a\nbus-switch toggle."
+               " Multiplier-light kernels (SAD) come out ahead on RSP;\n"
+               "multiplier-heavy ones roughly break even — consistent with"
+               " the paper's\ncautious wording that domain-specific"
+               " optimization *may* also help power.\n";
+  bench::maybe_write_csv(csv, "power");
+  return 0;
+}

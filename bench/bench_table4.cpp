@@ -1,0 +1,20 @@
+// Regenerates paper Table 4: performance of the Livermore-loop kernels
+// (Hydro, ICCG, Tri-diagonal, Inner product, State) on Base, RS#1..4 and
+// RSP#1..4.
+#include "bench_perf_tables.hpp"
+#include "kernels/registry.hpp"
+
+int main() {
+  rsp::bench::run_performance_table(
+      rsp::kernels::livermore_suite(),
+      "Table 4: Livermore loop kernels across architectures", "table4");
+  std::cout <<
+      "Shape checks (paper Table 4):\n"
+      "  * RS never beats the base in time: same or more cycles at a slower\n"
+      "    clock (negative DR everywhere).\n"
+      "  * RSP#2 runs every kernel without stalls and achieves the best or\n"
+      "    near-best delay reduction.\n"
+      "  * Aggressive sharing (#1) stalls the multiplier-hungry kernels\n"
+      "    (Hydro, State) but not ICCG/Tri-diagonal/Inner product.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Configuration bitstream: serialisation of a configuration cache into the
+// byte stream a host processor (the paper's Tiny_RISC/LEON-style companion
+// core) would DMA into the array's per-PE caches at kernel-switch time.
+//
+// Layout (little-endian):
+//   magic "RSPC", u16 version, u16 rows, u16 cols, u16 context_length,
+//   u16 word_bits, u16 reserved, then rows×cols×length packed words
+//   (word_bits each, bit-packed contiguously).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config_cache.hpp"
+
+namespace rsp::arch {
+
+/// Packs the cache into a bitstream. `plan` determines the word width
+/// (bus-switch select bits).
+std::vector<std::uint8_t> encode_bitstream(const ConfigCache& cache,
+                                           const SharingPlan& plan);
+
+/// Reconstructs a cache from a bitstream; throws rsp::Error on malformed
+/// input (bad magic, truncated payload, inconsistent geometry).
+ConfigCache decode_bitstream(const std::vector<std::uint8_t>& bytes,
+                             const SharingPlan& plan);
+
+/// Size in bytes a kernel's context occupies (header + payload).
+std::size_t bitstream_size(const ConfigCache& cache, const SharingPlan& plan);
+
+}  // namespace rsp::arch

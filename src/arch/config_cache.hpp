@@ -1,0 +1,59 @@
+// Configuration cache model.
+//
+// The paper allocates a configuration cache to *each PE* (loop pipelining
+// needs per-PE control, unlike Morphosys' SIMD broadcast). A configuration
+// context is, per PE, a sequence of configuration words — one per cycle —
+// selecting the operation, operand sources and, in RS/RSP architectures,
+// the shared unit to use. This module models the storage (word layout and
+// bit count), not the scheduling; the mapper in src/sched fills it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/array.hpp"
+#include "arch/sharing.hpp"
+
+namespace rsp::arch {
+
+/// One per-cycle configuration word of one PE.
+struct ConfigWord {
+  std::uint8_t opcode = 0;       ///< PE operation selector
+  std::uint8_t src_a = 0;        ///< operand A source selector
+  std::uint8_t src_b = 0;        ///< operand B source selector
+  std::uint8_t shared_select = 0;///< bus-switch unit selector (0 = idle)
+  std::int32_t immediate = 0;    ///< constant / shift amount
+  bool mem_access = false;       ///< drives a row bus this cycle
+
+  bool operator==(const ConfigWord&) const = default;
+};
+
+/// Per-PE context storage for one kernel.
+class ConfigCache {
+ public:
+  ConfigCache(const ArraySpec& array, int context_length);
+
+  const ArraySpec& array() const { return array_; }
+  int context_length() const { return context_length_; }
+
+  ConfigWord& word(PeCoord pe, int cycle);
+  const ConfigWord& word(PeCoord pe, int cycle) const;
+
+  /// Bits of one configuration word for the given switch complexity
+  /// (opcode 4 + two source selectors 4 each + shared-unit select +
+  /// immediate 16 + mem flag 1).
+  static int word_bits(int shared_select_bits);
+
+  /// Total storage of this cache in bits, given the sharing plan.
+  std::int64_t total_bits(const SharingPlan& plan) const;
+
+  std::string summary() const;
+
+ private:
+  ArraySpec array_;
+  int context_length_;
+  std::vector<ConfigWord> words_;  // [pe_linear * context_length + cycle]
+};
+
+}  // namespace rsp::arch

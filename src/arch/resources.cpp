@@ -1,0 +1,53 @@
+#include "arch/resources.hpp"
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace rsp::arch {
+
+const char* resource_name(Resource r) {
+  switch (r) {
+    case Resource::kMultiplexer:
+      return "Multiplexer";
+    case Resource::kAlu:
+      return "ALU";
+    case Resource::kArrayMultiplier:
+      return "Array multiplier";
+    case Resource::kShiftLogic:
+      return "Shift logic";
+    case Resource::kOutputRegister:
+      return "Output register";
+    case Resource::kPipelineRegister:
+      return "Pipeline register";
+    case Resource::kBusSwitch:
+      return "Bus switch";
+  }
+  throw InternalError("unknown Resource");
+}
+
+std::ostream& operator<<(std::ostream& os, Resource r) {
+  return os << resource_name(r);
+}
+
+bool is_sharable(Resource r) { return r == Resource::kArrayMultiplier; }
+
+bool is_pipelinable(Resource r) { return r == Resource::kArrayMultiplier; }
+
+std::vector<Resource> PeSpec::resources() const {
+  std::vector<Resource> out = {Resource::kMultiplexer, Resource::kAlu};
+  if (has_multiplier) out.push_back(Resource::kArrayMultiplier);
+  out.push_back(Resource::kShiftLogic);
+  out.push_back(Resource::kOutputRegister);
+  if (has_pipeline_regs) out.push_back(Resource::kPipelineRegister);
+  if (has_bus_switch) out.push_back(Resource::kBusSwitch);
+  return out;
+}
+
+PeSpec base_pe() { return PeSpec{true, false, false}; }
+
+PeSpec shared_pe() { return PeSpec{false, true, false}; }
+
+PeSpec shared_pipelined_pe() { return PeSpec{false, true, true}; }
+
+}  // namespace rsp::arch

@@ -1,0 +1,120 @@
+#include "core/estimate.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace rsp::core {
+
+int longest_mult_chain(const sched::ConfigurationContext& context) {
+  // DP over ops in index order (operands reference earlier indices).
+  const auto& ops = context.ops();
+  std::vector<int> depth(ops.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    int in_depth = 0;
+    for (const sched::ProgOperand& o : ops[i].operands) {
+      if (o.is_imm()) continue;
+      in_depth = std::max(in_depth, depth[static_cast<std::size_t>(o.producer)]);
+    }
+    depth[i] = in_depth + (ir::is_critical_op(ops[i].kind) ? 1 : 0);
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+namespace {
+
+/// Maximum number of multiplications in one cycle that can be served by the
+/// row/column unit pools (bipartite matching, Kuhn's algorithm; each mult
+/// at PE(r,c) may use a unit of row pool r or column pool c). Exact, so the
+/// derived stall bound stays optimistic.
+int max_served(const std::vector<arch::PeCoord>& mults,
+               const arch::Architecture& target) {
+  const int upr = target.sharing.units_per_row;
+  const int upc = target.sharing.units_per_col;
+  // Unit slots: row pools first, then column pools.
+  const int row_slots = target.array.rows * upr;
+  const int total_slots = row_slots + target.array.cols * upc;
+  std::vector<int> slot_owner(static_cast<std::size_t>(total_slots), -1);
+
+  auto candidate_slots = [&](const arch::PeCoord& pe) {
+    std::vector<int> slots;
+    for (int u = 0; u < upr; ++u) slots.push_back(pe.row * upr + u);
+    for (int u = 0; u < upc; ++u)
+      slots.push_back(row_slots + pe.col * upc + u);
+    return slots;
+  };
+
+  std::vector<char> visited;
+  // Augmenting path search from mult `m`.
+  auto try_assign = [&](auto&& self, int m) -> bool {
+    for (int slot : candidate_slots(mults[static_cast<std::size_t>(m)])) {
+      if (visited[static_cast<std::size_t>(slot)]) continue;
+      visited[static_cast<std::size_t>(slot)] = 1;
+      if (slot_owner[static_cast<std::size_t>(slot)] < 0 ||
+          self(self, slot_owner[static_cast<std::size_t>(slot)])) {
+        slot_owner[static_cast<std::size_t>(slot)] = m;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  int served = 0;
+  for (int m = 0; m < static_cast<int>(mults.size()); ++m) {
+    visited.assign(static_cast<std::size_t>(total_slots), 0);
+    if (try_assign(try_assign, m)) ++served;
+  }
+  return served;
+}
+
+}  // namespace
+
+PerfEstimate estimate_performance(
+    const sched::ConfigurationContext& base_context,
+    const arch::Architecture& target) {
+  if (base_context.architecture().shares_multiplier())
+    throw InvalidArgumentError(
+        "estimate_performance expects the base-architecture context");
+  if (base_context.architecture().array != target.array)
+    throw InvalidArgumentError("array geometries differ");
+
+  PerfEstimate est;
+  est.base_cycles = base_context.length();
+
+  if (target.shares_multiplier()) {
+    const int capacity = target.sharing.total_units(target.array);
+    RSP_ASSERT(capacity > 0);
+
+    // Per-cycle multiplication sites from the initial (base) context.
+    std::vector<std::vector<arch::PeCoord>> mults_at(
+        static_cast<std::size_t>(est.base_cycles));
+    for (const sched::ScheduledOp& op : base_context.ops())
+      if (ir::is_critical_op(op.kind))
+        mults_at[static_cast<std::size_t>(op.cycle)].push_back(op.pe);
+
+    // Backlog model: each cycle serves what the unit pools can reach
+    // (exact matching); the surplus queues and may drain into later spare
+    // capacity. Only the final backlog forces extra cycles. Dependences
+    // and operand routing are ignored, so the bound never overestimates —
+    // the paper's "upper bound of the performance".
+    long backlog = 0;
+    for (const auto& mults : mults_at) {
+      const int demand = static_cast<int>(mults.size());
+      const int served = demand == 0 ? 0 : max_served(mults, target);
+      backlog += demand - served;
+      if (demand < capacity)
+        backlog = std::max<long>(0, backlog - (capacity - demand));
+    }
+    est.rs_stall_bound = static_cast<int>((backlog + capacity - 1) / capacity);
+  }
+  if (target.pipelines_multiplier()) {
+    est.rp_overhead =
+        (target.sharing.pipeline_stages - 1) * longest_mult_chain(base_context);
+  }
+  return est;
+}
+
+}  // namespace rsp::core

@@ -1,0 +1,36 @@
+// Fast performance upper bound used inside the RSP exploration loop
+// (paper §4): instead of fully rescheduling every candidate, count per
+// cycle how many critical operations the *initial* (base) context issues
+// and compare with the candidate's shared-unit capacity (RS stall bound),
+// and account for the extra latency of pipelined multiplications along the
+// longest multiplication chain (RP stall bound). The paper notes "in
+// reality, more cycles may stall … thus this approximation is an upper
+// bound of the performance" — i.e. the estimate is optimistic; the exact
+// number comes from full rescheduling afterwards.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "sched/context.hpp"
+
+namespace rsp::core {
+
+struct PerfEstimate {
+  int base_cycles = 0;
+  int rs_stall_bound = 0;   ///< extra cycles from lacking shared units
+  int rp_overhead = 0;      ///< extra cycles from multi-cycle multiplication
+  int estimated_cycles() const {
+    return base_cycles + rs_stall_bound + rp_overhead;
+  }
+};
+
+/// Estimates the cycle count of `target` from the base-architecture context
+/// without rescheduling. `base_context` must come from the base
+/// architecture of the same array geometry.
+PerfEstimate estimate_performance(const sched::ConfigurationContext& base_context,
+                                  const arch::Architecture& target);
+
+/// Longest chain of dependent multiplications in the context (the RP
+/// overhead multiplies this by stages-1).
+int longest_mult_chain(const sched::ConfigurationContext& context);
+
+}  // namespace rsp::core

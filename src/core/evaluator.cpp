@@ -1,0 +1,42 @@
+#include "core/evaluator.hpp"
+
+#include "util/error.hpp"
+
+namespace rsp::core {
+
+EvalResult RspEvaluator::evaluate(const sched::PlacedProgram& program,
+                                  const arch::Architecture& architecture,
+                                  double base_et_ns) const {
+  EvalResult r;
+  r.arch_name = architecture.name;
+  const sched::PerfPoint perf =
+      sched::measure(scheduler_, program, architecture);
+  r.cycles = perf.cycles;
+  r.stalls = perf.stalls;
+  r.clock_ns = synth_.clock_ns(architecture);
+  r.execution_time_ns = r.cycles * r.clock_ns;
+  const sched::ConfigurationContext context =
+      scheduler_.schedule(program, architecture);
+  r.max_mults_per_cycle = context.max_critical_issues_per_cycle();
+  if (base_et_ns > 0.0)
+    r.delay_reduction_percent =
+        100.0 * (base_et_ns - r.execution_time_ns) / base_et_ns;
+  return r;
+}
+
+std::vector<EvalResult> RspEvaluator::evaluate_suite(
+    const sched::PlacedProgram& program,
+    const std::vector<arch::Architecture>& suite) const {
+  if (suite.empty())
+    throw InvalidArgumentError("evaluate_suite requires architectures");
+  std::vector<EvalResult> out;
+  out.reserve(suite.size());
+  const EvalResult base = evaluate(program, suite.front(), 0.0);
+  out.push_back(base);
+  for (std::size_t i = 1; i < suite.size(); ++i)
+    out.push_back(
+        evaluate(program, suite[i], base.execution_time_ns));
+  return out;
+}
+
+}  // namespace rsp::core

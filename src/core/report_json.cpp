@@ -1,0 +1,45 @@
+#include "core/report_json.hpp"
+
+namespace rsp::core {
+
+util::Json to_json(const std::string& kernel_name,
+                   const std::vector<EvalResult>& rows) {
+  util::Json j = util::Json::object();
+  j.set("kernel", kernel_name);
+  util::Json arr = util::Json::array();
+  for (const EvalResult& r : rows) {
+    util::Json row = util::Json::object();
+    row.set("arch", r.arch_name)
+        .set("cycles", r.cycles)
+        .set("stalls", r.stalls)
+        .set("clock_ns", r.clock_ns)
+        .set("execution_time_ns", r.execution_time_ns)
+        .set("delay_reduction_percent", r.delay_reduction_percent)
+        .set("max_mults_per_cycle", r.max_mults_per_cycle);
+    arr.push(std::move(row));
+  }
+  j.set("results", std::move(arr));
+  return j;
+}
+
+util::Json to_json(const synth::SynthesisReport& r) {
+  util::Json j = util::Json::object();
+  j.set("arch", r.arch_name)
+      .set("pe_area_slices", r.pe_area)
+      .set("switch_area_slices", r.switch_area)
+      .set("array_area_slices", r.array_area)
+      .set("area_reduction_percent", r.area_reduction)
+      .set("pe_delay_ns", r.pe_delay)
+      .set("switch_delay_ns", r.switch_delay)
+      .set("clock_ns", r.clock)
+      .set("delay_reduction_percent", r.delay_reduction);
+  return j;
+}
+
+util::Json to_json(const std::vector<synth::SynthesisReport>& reports) {
+  util::Json arr = util::Json::array();
+  for (const synth::SynthesisReport& r : reports) arr.push(to_json(r));
+  return arr;
+}
+
+}  // namespace rsp::core

@@ -1,0 +1,171 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "dse/pareto.hpp"
+#include "sched/legality.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rsp::dse {
+
+std::string DesignPoint::label() const {
+  if (is_base()) return "Base";
+  std::string s;
+  if (units_per_row > 0) s += std::to_string(units_per_row) + "r";
+  if (units_per_col > 0)
+    s += (s.empty() ? "" : "+") + std::to_string(units_per_col) + "c";
+  if (stages > 1) s += "/p" + std::to_string(stages);
+  return s;
+}
+
+const Candidate& ExplorationResult::best() const {
+  if (selected < 0) throw NotFoundError("exploration selected no design");
+  return candidates[static_cast<std::size_t>(selected)];
+}
+
+std::vector<const Candidate*> ExplorationResult::pareto_points() const {
+  std::vector<const Candidate*> out;
+  for (const Candidate& c : candidates)
+    if (c.pareto) out.push_back(&c);
+  return out;
+}
+
+Explorer::Explorer(arch::ArraySpec array, ExplorerConfig config,
+                   synth::SynthesisModel synth)
+    : array_(array), config_(config), synth_(std::move(synth)) {
+  array_.validate();
+  if (config_.max_stages < 1 || config_.max_units_per_row < 0 ||
+      config_.max_units_per_col < 0)
+    throw InvalidArgumentError("malformed explorer config");
+}
+
+ExplorationResult Explorer::explore(
+    const std::vector<kernels::Workload>& domain) const {
+  if (domain.empty())
+    throw InvalidArgumentError("exploration requires at least one kernel");
+
+  const core::RspEvaluator evaluator(synth_);
+  const sched::ContextScheduler& scheduler = evaluator.scheduler();
+  const sched::LoopPipeliner mapper(array_);
+
+  // Step 1: initial configuration contexts on the base architecture.
+  const arch::Architecture base =
+      arch::base_architecture(array_.rows, array_.cols);
+  std::vector<sched::PlacedProgram> programs;
+  std::vector<sched::ConfigurationContext> base_contexts;
+  ExplorationResult result;
+  for (const kernels::Workload& w : domain) {
+    if (w.array != array_)
+      throw InvalidArgumentError("workload '" + w.name +
+                                 "' targets a different array geometry");
+    programs.push_back(mapper.map(w.kernel, w.hints, w.reduction));
+    base_contexts.push_back(scheduler.schedule(programs.back(), base));
+    sched::require_legal(base_contexts.back());
+    result.base_cycles += base_contexts.back().length();
+  }
+  result.base_area = synth_.area(base);
+  const double base_clock = synth_.clock_ns(base);
+  result.base_time_ns = static_cast<double>(result.base_cycles) * base_clock;
+  const double base_area_raw =
+      synth_.area_model().library().base_pe().area_slices * array_.num_pes();
+
+  // Step 2–3: enumerate and estimate.
+  for (int upr = 0; upr <= config_.max_units_per_row; ++upr) {
+    for (int upc = 0; upc <= config_.max_units_per_col; ++upc) {
+      for (int stages = 1; stages <= config_.max_stages; ++stages) {
+        const DesignPoint point{upr, upc, stages};
+        if (point.is_base() && stages > 1) continue;  // nothing to pipeline
+        Candidate cand;
+        cand.point = point;
+        cand.architecture =
+            point.is_base()
+                ? base
+                : arch::custom_architecture("RSP(" + point.label() + ")",
+                                            array_.rows, array_.cols, upr,
+                                            upc, stages);
+        cand.area_estimate = synth_.area_model().estimate(cand.architecture);
+        cand.area_synthesized = synth_.area(cand.architecture);
+        cand.clock_ns = synth_.clock_ns(cand.architecture);
+
+        for (std::size_t k = 0; k < programs.size(); ++k) {
+          const core::PerfEstimate est = core::estimate_performance(
+              base_contexts[k], cand.architecture);
+          cand.estimated_cycles += est.estimated_cycles();
+        }
+        cand.estimated_time_ns =
+            static_cast<double>(cand.estimated_cycles) * cand.clock_ns;
+
+        if (!point.is_base() &&
+            cand.area_estimate >= config_.max_area_ratio * base_area_raw) {
+          cand.rejected = true;
+          cand.reject_reason = "hardware cost too high (eq. 2)";
+        } else if (cand.estimated_time_ns >
+                   config_.max_time_ratio * result.base_time_ns) {
+          cand.rejected = true;
+          cand.reject_reason = "performance too low";
+        }
+        result.candidates.push_back(std::move(cand));
+      }
+    }
+  }
+
+  // Step 4: Pareto filter over the surviving estimates.
+  std::vector<std::size_t> alive;
+  for (std::size_t i = 0; i < result.candidates.size(); ++i)
+    if (!result.candidates[i].rejected) alive.push_back(i);
+  std::vector<Candidate> alive_cands;
+  for (std::size_t i : alive) alive_cands.push_back(result.candidates[i]);
+  const std::vector<std::size_t> front = epsilon_pareto_front<Candidate>(
+      alive_cands,
+      [](const Candidate& c) { return c.area_estimate; },
+      [](const Candidate& c) { return c.estimated_time_ns; },
+      config_.pareto_epsilon);
+  for (std::size_t f : front) result.candidates[alive[f]].pareto = true;
+
+  // Step 5: exact evaluation of the Pareto points.
+  for (Candidate& cand : result.candidates) {
+    if (!cand.pareto) continue;
+    cand.evaluated = true;
+    cand.exact_cycles = 0;
+    cand.total_stalls = 0;
+    for (const sched::PlacedProgram& program : programs) {
+      const sched::PerfPoint p =
+          sched::measure(scheduler, program, cand.architecture);
+      cand.exact_cycles += p.cycles;
+      cand.total_stalls += p.stalls;
+    }
+    cand.exact_time_ns =
+        static_cast<double>(cand.exact_cycles) * cand.clock_ns;
+    RSP_LOG(kInfo) << "pareto point " << cand.point.label() << ": area "
+                   << cand.area_synthesized << " slices, time "
+                   << cand.exact_time_ns << " ns";
+  }
+
+  // Step 6: select the optimum.
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+    const Candidate& c = result.candidates[i];
+    if (!c.evaluated) continue;
+    double score = 0.0;
+    switch (config_.objective) {
+      case Objective::kMinTime:
+        score = c.exact_time_ns;
+        break;
+      case Objective::kMinArea:
+        score = c.area_synthesized;
+        break;
+      case Objective::kMinAreaTimeProduct:
+        score = c.exact_time_ns * c.area_synthesized;
+        break;
+    }
+    if (score < best_score) {
+      best_score = score;
+      result.selected = static_cast<int>(i);
+    }
+  }
+  return result;
+}
+
+}  // namespace rsp::dse

@@ -1,0 +1,102 @@
+// RSP design space exploration (paper §4, Fig. 7).
+//
+// Inputs: a *domain* — the set of critical loops profiled from the target
+// applications — and the base array geometry. The explorer:
+//   1. maps every kernel once and schedules it on the base architecture
+//      (the "initial configuration contexts");
+//   2. enumerates RSP parameter combinations (units per row, units per
+//      column, pipeline stages);
+//   3. estimates hardware cost with eq. (2) and performance with the fast
+//      stall upper bound, rejecting points that violate the cost constraint
+//      or the performance floor;
+//   4. keeps the Pareto points of (estimated area, estimated time);
+//   5. evaluates the survivors exactly (full rescheduling of every kernel)
+//      and selects the optimum under the chosen objective.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/estimate.hpp"
+#include "core/evaluator.hpp"
+#include "kernels/workload.hpp"
+#include "sched/mapper.hpp"
+
+namespace rsp::dse {
+
+struct DesignPoint {
+  int units_per_row = 0;
+  int units_per_col = 0;
+  int stages = 1;
+
+  bool is_base() const { return units_per_row == 0 && units_per_col == 0; }
+  std::string label() const;
+};
+
+struct Candidate {
+  DesignPoint point;
+  arch::Architecture architecture;
+  double area_estimate = 0.0;      ///< eq. (2), slices
+  double area_synthesized = 0.0;   ///< calibrated synthesis estimate
+  double clock_ns = 0.0;
+  long estimated_cycles = 0;       ///< Σ over kernels, fast upper bound
+  double estimated_time_ns = 0.0;
+  bool rejected = false;
+  std::string reject_reason;
+  bool pareto = false;
+  // Exact numbers, filled for Pareto survivors only:
+  bool evaluated = false;
+  long exact_cycles = 0;
+  double exact_time_ns = 0.0;
+  long total_stalls = 0;
+};
+
+enum class Objective {
+  kMinTime,             ///< fastest total execution time
+  kMinArea,             ///< smallest array
+  kMinAreaTimeProduct,  ///< area × time (default)
+};
+
+struct ExplorerConfig {
+  int max_units_per_row = 4;
+  int max_units_per_col = 4;
+  int max_stages = 4;
+  /// Reject when eq. (2) cost is not strictly below `max_area_ratio` × base.
+  double max_area_ratio = 1.0;
+  /// Reject when estimated time exceeds this multiple of the base time
+  /// ("performance too low").
+  double max_time_ratio = 1.5;
+  /// Pareto relaxation: survivors may be up to (1+ε) worse in both
+  /// objectives than a dominating point. Since the performance numbers at
+  /// this stage are optimistic upper bounds, a small ε keeps genuinely
+  /// competitive designs alive for exact evaluation.
+  double pareto_epsilon = 0.05;
+  Objective objective = Objective::kMinAreaTimeProduct;
+};
+
+struct ExplorationResult {
+  std::vector<Candidate> candidates;   ///< every enumerated point
+  double base_area = 0.0;              ///< synthesized base area
+  long base_cycles = 0;                ///< Σ base cycles over the domain
+  double base_time_ns = 0.0;
+  int selected = -1;                   ///< index into candidates, -1 = none
+
+  const Candidate& best() const;
+  std::vector<const Candidate*> pareto_points() const;
+};
+
+class Explorer {
+ public:
+  Explorer(arch::ArraySpec array, ExplorerConfig config = {},
+           synth::SynthesisModel synth = synth::SynthesisModel());
+
+  /// Runs the full Fig. 7 refinement flow on a domain of kernels.
+  ExplorationResult explore(const std::vector<kernels::Workload>& domain) const;
+
+ private:
+  arch::ArraySpec array_;
+  ExplorerConfig config_;
+  synth::SynthesisModel synth_;
+};
+
+}  // namespace rsp::dse

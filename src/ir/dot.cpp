@@ -1,0 +1,52 @@
+#include "ir/dot.hpp"
+
+#include <sstream>
+
+namespace rsp::ir {
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const DataflowGraph& graph, const std::string& title) {
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(title.empty() ? "dfg" : title) << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    const Node& n = graph.node(id);
+    os << "  n" << id << " [label=\"" << id << ": " << op_name(n.kind);
+    if (n.kind == OpKind::kConst) os << " " << n.imm;
+    if (n.kind == OpKind::kShift) os << " by " << n.imm;
+    if (n.mem) os << " " << dot_escape(n.mem->array) << "[]";
+    if (!n.label.empty()) os << "\\n" << dot_escape(n.label);
+    os << "\"";
+    if (is_critical_op(n.kind)) os << ", style=filled, fillcolor=lightcoral";
+    else if (is_memory_op(n.kind)) os << ", style=filled, fillcolor=lightblue";
+    os << "];\n";
+  }
+  for (NodeId id = 0; id < graph.size(); ++id) {
+    const Node& n = graph.node(id);
+    for (NodeId in : n.inputs)
+      if (in != kInvalidNode) os << "  n" << in << " -> n" << id << ";\n";
+    for (const CarriedInput& c : n.carried)
+      os << "  n" << c.producer << " -> n" << id
+         << " [style=dashed, label=\"d=" << c.distance << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const LoopKernel& kernel) {
+  return to_dot(kernel.body(), kernel.name());
+}
+
+}  // namespace rsp::ir

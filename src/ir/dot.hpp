@@ -1,0 +1,19 @@
+// Graphviz export of loop-body dataflow graphs (debugging aid and
+// documentation artefact; DESIGN.md's per-kernel diagrams come from here).
+#pragma once
+
+#include <string>
+
+#include "ir/graph.hpp"
+#include "ir/kernel.hpp"
+
+namespace rsp::ir {
+
+/// Renders the body graph in DOT syntax. Loop-carried edges are dashed and
+/// annotated with their distance.
+std::string to_dot(const DataflowGraph& graph, const std::string& title = {});
+
+/// Convenience overload naming the graph after the kernel.
+std::string to_dot(const LoopKernel& kernel);
+
+}  // namespace rsp::ir

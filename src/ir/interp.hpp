@@ -1,0 +1,67 @@
+// Reference interpreter ("golden model").
+//
+// Executes an UnrolledGraph sequentially in topological order against a
+// named-array memory. The cycle-accurate simulator (src/sim) must produce
+// exactly the same final memory and the same per-op values; tests compare
+// the two on every kernel.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/unroll.hpp"
+
+namespace rsp::ir {
+
+/// Named-array data memory. Arrays are independent address spaces, matching
+/// the paper's "frame buffer / data memory with multiple buses" abstraction.
+class Memory {
+ public:
+  /// Creates (or replaces) an array of `size` zero-initialised elements.
+  void allocate(const std::string& name, std::size_t size);
+
+  /// Creates (or replaces) an array with the given contents.
+  void set(const std::string& name, std::vector<std::int64_t> data);
+
+  bool has(const std::string& name) const;
+  std::size_t size(const std::string& name) const;
+
+  std::int64_t read(const std::string& name, std::int64_t index) const;
+  void write(const std::string& name, std::int64_t index, std::int64_t value);
+
+  const std::vector<std::int64_t>& array(const std::string& name) const;
+
+  /// Names of all arrays, sorted.
+  std::vector<std::string> names() const;
+
+  bool operator==(const Memory& other) const { return arrays_ == other.arrays_; }
+
+ private:
+  const std::vector<std::int64_t>& find(const std::string& name) const;
+  std::map<std::string, std::vector<std::int64_t>> arrays_;
+};
+
+/// Optional datapath width emulation. The paper's array uses a 16-bit data
+/// bus with 2n-bit multiplier outputs; `kExact` computes in int64 (default
+/// for kernels whose values stay in range), `kWrap16` wraps every result to
+/// the 16-bit datapath except multiplier outputs, which keep 32 bits.
+enum class DatapathMode { kExact, kWrap16 };
+
+/// Applies the datapath semantics of one op to already-evaluated operands.
+std::int64_t eval_op(OpKind kind, std::int64_t a, std::int64_t b,
+                     std::int64_t imm, DatapathMode mode);
+
+/// Result of interpreting a whole unrolled loop.
+struct InterpResult {
+  std::vector<std::int64_t> values;  ///< value produced by every op
+  std::int64_t loads = 0;
+  std::int64_t stores = 0;
+};
+
+/// Runs the graph to completion, mutating `memory`.
+InterpResult interpret(const UnrolledGraph& graph, Memory& memory,
+                       DatapathMode mode = DatapathMode::kExact);
+
+}  // namespace rsp::ir

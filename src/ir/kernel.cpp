@@ -1,0 +1,24 @@
+#include "ir/kernel.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rsp::ir {
+
+LoopKernel::LoopKernel(std::string name, DataflowGraph body,
+                       std::int64_t trip_count)
+    : name_(std::move(name)), body_(std::move(body)), trip_count_(trip_count) {
+  if (name_.empty()) throw InvalidArgumentError("kernel requires a name");
+  if (trip_count_ <= 0)
+    throw InvalidArgumentError("kernel trip count must be positive");
+  if (body_.empty()) throw InvalidArgumentError("kernel body is empty");
+  body_.validate();
+}
+
+std::string LoopKernel::op_set_string() const {
+  std::vector<std::string> names;
+  for (OpKind k : op_set()) names.emplace_back(op_name(k));
+  return util::join(names, ", ");
+}
+
+}  // namespace rsp::ir

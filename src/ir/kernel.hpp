@@ -1,0 +1,43 @@
+// A kernel loop: one body dataflow graph plus a trip count.
+//
+// This is the unit the paper maps onto the reconfigurable array ("selected
+// critical loops"). The kernel also carries the Table 3 style summary used
+// by the exploration flow: its operation set and multiplier pressure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.hpp"
+
+namespace rsp::ir {
+
+class LoopKernel {
+ public:
+  LoopKernel(std::string name, DataflowGraph body, std::int64_t trip_count);
+
+  const std::string& name() const { return name_; }
+  const DataflowGraph& body() const { return body_; }
+  std::int64_t trip_count() const { return trip_count_; }
+
+  /// Computational op kinds used by the body (Table 3 "Operation set").
+  std::vector<OpKind> op_set() const { return body_.op_set(); }
+
+  /// Multiplications per iteration of the body.
+  int mults_per_iteration() const { return body_.count(OpKind::kMult); }
+
+  /// Total ops over the whole loop (body size × trip count).
+  std::int64_t total_ops() const {
+    return static_cast<std::int64_t>(body_.size()) * trip_count_;
+  }
+
+  /// "mult, add, sub" style rendering of the op set.
+  std::string op_set_string() const;
+
+ private:
+  std::string name_;
+  DataflowGraph body_;
+  std::int64_t trip_count_;
+};
+
+}  // namespace rsp::ir

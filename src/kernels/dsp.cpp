@@ -1,0 +1,249 @@
+#include "kernels/dsp.hpp"
+
+#include "ir/builder.hpp"
+
+namespace rsp::kernels {
+
+namespace {
+
+arch::ArraySpec paper_array() { return arch::ArraySpec{}; }
+
+// "DCT-like" rotation coefficients and down-shift (integerised butterfly).
+constexpr std::int64_t kC1 = 5, kC2 = 3, kC3 = 2, kC4 = 4;
+constexpr int kDctShift = -2;  // arithmetic right shift by 2
+
+// 2D-FDCT iteration decode: 64 iterations = 2 passes × 8 lines × 4
+// butterfly pairs. The 8×8 block, its row-pass intermediate and the output
+// live in one "buf" array at offsets 0 / 64 / 128 so a single index
+// function can address both passes.
+struct FdctPoint {
+  std::int64_t in_p, in_q, out_p, out_q;
+};
+
+FdctPoint fdct_point(std::int64_t it) {
+  const std::int64_t pass = it / 32;
+  const std::int64_t idx = it % 32;
+  const std::int64_t line = idx / 4;
+  const std::int64_t pair = idx % 4;
+  const std::int64_t mirror = 7 - pair;
+  FdctPoint p;
+  if (pass == 0) {  // row pass: block (offset 0) → tmp (offset 64)
+    p.in_p = line * 8 + pair;
+    p.in_q = line * 8 + mirror;
+    p.out_p = 64 + line * 8 + pair;
+    p.out_q = 64 + line * 8 + mirror;
+  } else {  // column pass: tmp (offset 64) → out (offset 128)
+    p.in_p = 64 + pair * 8 + line;
+    p.in_q = 64 + mirror * 8 + line;
+    p.out_p = 128 + pair * 8 + line;
+    p.out_q = 128 + mirror * 8 + line;
+  }
+  return p;
+}
+
+std::pair<std::int64_t, std::int64_t> fdct_butterfly(std::int64_t a,
+                                                     std::int64_t b) {
+  const std::int64_t u = a + b;
+  const std::int64_t v = a - b;
+  const std::int64_t s = kC1 * u + kC2 * v;
+  const std::int64_t d = kC3 * u - kC4 * v;
+  return {s >> 2, d >> 2};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 2D-FDCT: separable 8×8 forward DCT, butterfly-pair granularity.
+// Four multiplications per iteration issued back to back — with 4-lane
+// waves this is the multiplier-pressure kernel of the suite (paper Table 3
+// reports a peak of 16 concurrent multiplications and Table 5 the only
+// RS#2 stalls).
+// ---------------------------------------------------------------------------
+Workload make_fdct() {
+  constexpr std::int64_t kIters = 64;
+  ir::GraphBuilder b;
+  auto a = b.load("buf", [](std::int64_t it) { return fdct_point(it).in_p; },
+                  "in[p]");
+  auto bb = b.load("buf", [](std::int64_t it) { return fdct_point(it).in_q; },
+                   "in[q]");
+  auto u = b.add(a, bb, "u");
+  auto v = b.sub(a, bb, "v");
+  auto c1 = b.constant(kC1);
+  auto c2 = b.constant(kC2);
+  auto c3 = b.constant(kC3);
+  auto c4 = b.constant(kC4);
+  auto m1 = b.mult(c1, u);
+  auto m2 = b.mult(c2, v);
+  auto m3 = b.mult(c3, u);
+  auto m4 = b.mult(c4, v);
+  auto s = b.add(m1, m2);
+  auto d = b.sub(m3, m4);
+  auto o1 = b.shift(s, kDctShift, "s>>2");
+  auto o2 = b.shift(d, kDctShift, "d>>2");
+  b.store("buf", [](std::int64_t it) { return fdct_point(it).out_p; }, o1,
+          "out[p]");
+  b.store("buf", [](std::int64_t it) { return fdct_point(it).out_q; }, o2,
+          "out[q]");
+
+  Workload w{"2D-FDCT",
+             ir::LoopKernel("2D-FDCT", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = false;  // concentrate on rows 0-3: peak 16 mults
+  w.setup = [](ir::Memory& m) {
+    std::vector<std::int64_t> buf =
+        deterministic_data("fdct.block", 64, -128, 127);
+    buf.resize(192, 0);
+    m.set("buf", std::move(buf));
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t it = 0; it < kIters; ++it) {
+      const FdctPoint p = fdct_point(it);
+      const auto [op, oq] =
+          fdct_butterfly(m.read("buf", p.in_p), m.read("buf", p.in_q));
+      m.write("buf", p.out_p, op);
+      m.write("buf", p.out_q, oq);
+    }
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// SAD: sum of absolute differences over a 16×16 block (H.263 motion
+// estimation). 256 iterations, 4 per PE, local accumulation + global tree
+// reduction. No multiplications: on RSP architectures the whole gain is the
+// faster clock — the paper's best case (35.7 % with RSP#1).
+// ---------------------------------------------------------------------------
+Workload make_sad() {
+  constexpr std::int64_t kIters = 256;
+  ir::GraphBuilder b;
+  auto cur = b.load("cur", [](std::int64_t k) { return k; }, "cur[k]");
+  auto ref = b.load("ref", [](std::int64_t k) { return k; }, "ref[k]");
+  auto d = b.sub(cur, ref);
+  auto ad = b.abs(d, "|d|");
+  auto acc = b.accumulate(ad, 0, /*distance=*/64, "acc");
+
+  Workload w{
+      "SAD", ir::LoopKernel("SAD", b.take(), kIters), paper_array(),
+      {},    {},
+      {},    {}};
+  w.hints.lanes = 8;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.reduction.scope = sched::ReductionSpec::Scope::kAll;
+  w.reduction.source = acc;
+  w.reduction.array = "sad";
+  w.reduction.index0 = 0;
+  w.setup = [](ir::Memory& m) {
+    m.set("cur", deterministic_data("sad.cur", kIters, 0, 255));
+    m.set("ref", deterministic_data("sad.ref", kIters, 0, 255));
+    m.allocate("sad", 1);
+  };
+  w.golden = [](ir::Memory& m) {
+    std::int64_t sum = 0;
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t d = m.read("cur", k) - m.read("ref", k);
+      sum += d < 0 ? -d : d;
+    }
+    m.write("sad", 0, sum);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// MVM: y = A·x with an 8×8 matrix. PE(r,c) computes A[r][c]·x[c]; each
+// array row tree-reduces its 8 products into y[r]. One multiplication per
+// iteration, peaking at 8 concurrent (Table 3).
+// ---------------------------------------------------------------------------
+Workload make_mvm() {
+  constexpr std::int64_t kIters = 64;
+  ir::GraphBuilder b;
+  // iteration i: lane r = i%8 (array row), wave c = i/8 (matrix column).
+  auto aa = b.load(
+      "A", [](std::int64_t i) { return (i % 8) * 8 + i / 8; }, "A[r][c]");
+  auto x = b.load("x", [](std::int64_t i) { return i / 8; }, "x[c]");
+  auto prod = b.mult(aa, x, "A*x");
+
+  Workload w{
+      "MVM", ir::LoopKernel("MVM", b.take(), kIters), paper_array(),
+      {},    {},
+      {},    {}};
+  w.hints.lanes = 8;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.reduction.scope = sched::ReductionSpec::Scope::kPerRow;
+  w.reduction.source = prod;
+  w.reduction.array = "y";
+  w.reduction.index0 = 0;
+  w.setup = [](ir::Memory& m) {
+    m.set("A", deterministic_data("mvm.A", 64, -30, 30));
+    m.set("x", deterministic_data("mvm.x", 8, -30, 30));
+    m.allocate("y", 8);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (int r = 0; r < 8; ++r) {
+      std::int64_t sum = 0;
+      for (int c = 0; c < 8; ++c)
+        sum += m.read("A", r * 8 + c) * m.read("x", c);
+      m.write("y", r, sum);
+    }
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// FFT multiplication loop: one complex multiply per iteration,
+//   t = w · x  (tr = wr·xr − wi·xi, ti = wr·xi + wi·xr),  32 iterations.
+// ---------------------------------------------------------------------------
+Workload make_fft() {
+  constexpr std::int64_t kIters = 32;
+  ir::GraphBuilder b;
+  auto xr = b.load("xr", [](std::int64_t k) { return k; }, "xr[k]");
+  auto wr = b.load("wr", [](std::int64_t k) { return k; }, "wr[k]");
+  auto m1 = b.mult(xr, wr, "xr*wr");
+  auto xi = b.load("xi", [](std::int64_t k) { return k; }, "xi[k]");
+  auto wi = b.load("wi", [](std::int64_t k) { return k; }, "wi[k]");
+  auto m2 = b.mult(xi, wi, "xi*wi");
+  auto tr = b.sub(m1, m2, "tr");
+  auto m3 = b.mult(xr, wi, "xr*wi");
+  auto m4 = b.mult(xi, wr, "xi*wr");
+  auto ti = b.add(m3, m4, "ti");
+  b.store("tr", [](std::int64_t k) { return k; }, tr);
+  b.store("ti", [](std::int64_t k) { return k; }, ti);
+
+  Workload w{
+      "FFT", ir::LoopKernel("FFT", b.take(), kIters), paper_array(),
+      {},    {},
+      {},    {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 2;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("xr", deterministic_data("fft.xr", kIters, -40, 40));
+    m.set("xi", deterministic_data("fft.xi", kIters, -40, 40));
+    m.set("wr", deterministic_data("fft.wr", kIters, -40, 40));
+    m.set("wi", deterministic_data("fft.wi", kIters, -40, 40));
+    m.allocate("tr", kIters);
+    m.allocate("ti", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      m.write("tr", k,
+              m.read("wr", k) * m.read("xr", k) -
+                  m.read("wi", k) * m.read("xi", k));
+      m.write("ti", k,
+              m.read("wr", k) * m.read("xi", k) +
+                  m.read("wi", k) * m.read("xr", k));
+    }
+  };
+  return w;
+}
+
+}  // namespace rsp::kernels

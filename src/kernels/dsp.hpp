@@ -1,0 +1,17 @@
+// DSP kernels of the paper's Table 5:
+//   2D-FDCT (H.263 encoder)        — mult, shift, add, sub
+//   SAD (H.263 encoder)            — abs, add (no multiplication at all)
+//   MVM (matrix-vector multiply)   — mult, add
+//   FFT multiplication loop        — add, sub, mult (complex multiply)
+#pragma once
+
+#include "kernels/workload.hpp"
+
+namespace rsp::kernels {
+
+Workload make_fdct();
+Workload make_sad();
+Workload make_mvm();
+Workload make_fft();
+
+}  // namespace rsp::kernels

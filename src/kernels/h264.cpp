@@ -1,0 +1,224 @@
+#include "kernels/h264.hpp"
+
+#include "ir/builder.hpp"
+
+namespace rsp::kernels {
+
+namespace {
+arch::ArraySpec paper_array() { return arch::ArraySpec{}; }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// 4×4 SAD over the 16 sub-blocks of a 16×16 macroblock: 256 pixels, one
+// |cur − ref| accumulation per iteration, global reduction. Multiplier-free.
+// ---------------------------------------------------------------------------
+Workload make_h264_sad4x4() {
+  constexpr std::int64_t kIters = 256;
+  ir::GraphBuilder b;
+  auto cur = b.load("cur", [](std::int64_t k) { return k; }, "cur[k]");
+  auto ref = b.load("ref", [](std::int64_t k) { return k; }, "ref[k]");
+  auto d = b.sub(cur, ref);
+  auto ad = b.abs(d);
+  auto acc = b.accumulate(ad, 0, 64, "acc");
+
+  Workload w{"H264-SAD4x4",
+             ir::LoopKernel("H264-SAD4x4", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 8;
+  w.hints.columns = 8;
+  w.reduction.scope = sched::ReductionSpec::Scope::kAll;
+  w.reduction.source = acc;
+  w.reduction.array = "sad";
+  w.setup = [](ir::Memory& m) {
+    m.set("cur", deterministic_data("h264.cur", kIters, 0, 255));
+    m.set("ref", deterministic_data("h264.ref", kIters, 0, 255));
+    m.allocate("sad", 1);
+  };
+  w.golden = [](ir::Memory& m) {
+    std::int64_t sum = 0;
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t d = m.read("cur", k) - m.read("ref", k);
+      sum += d < 0 ? -d : d;
+    }
+    m.write("sad", 0, sum);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// 4×4 Hadamard SATD, butterfly-pair granularity: each iteration combines a
+// residual pair with a 2-point butterfly and accumulates |sum| + |diff|
+// (a faithful op mix for the transform-domain cost; the exact H.264 SATD
+// normalisation shift is applied in the final accumulation).
+// ---------------------------------------------------------------------------
+Workload make_h264_satd4x4() {
+  constexpr std::int64_t kIters = 128;  // 256 residuals as pairs
+  ir::GraphBuilder b;
+  auto x0 = b.load("res", [](std::int64_t k) { return 2 * k; }, "res[2k]");
+  auto x1 = b.load("res", [](std::int64_t k) { return 2 * k + 1; },
+                   "res[2k+1]");
+  auto s = b.add(x0, x1);
+  auto d = b.sub(x0, x1);
+  auto as = b.abs(s);
+  auto ad = b.abs(d);
+  auto pair = b.add(as, ad);
+  auto half = b.shift(pair, -1, ">>1");  // SATD normalisation
+  auto acc = b.accumulate(half, 0, 64, "acc");
+
+  Workload w{"H264-SATD4x4",
+             ir::LoopKernel("H264-SATD4x4", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 8;
+  w.hints.columns = 8;
+  w.reduction.scope = sched::ReductionSpec::Scope::kAll;
+  w.reduction.source = acc;
+  w.reduction.array = "satd";
+  w.setup = [](ir::Memory& m) {
+    m.set("res", deterministic_data("h264.res", 2 * kIters, -255, 255));
+    m.allocate("satd", 1);
+  };
+  w.golden = [](ir::Memory& m) {
+    std::int64_t sum = 0;
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t a = m.read("res", 2 * k);
+      const std::int64_t b2 = m.read("res", 2 * k + 1);
+      const std::int64_t s = a + b2, d = a - b2;
+      sum += ((s < 0 ? -s : s) + (d < 0 ? -d : d)) >> 1;
+    }
+    m.write("satd", 0, sum);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Luma half-pel interpolation: the H.264 6-tap filter
+//   h[k] = clip-free core: x[k] − 5·x[k+1] + 20·x[k+2] + 20·x[k+3]
+//          − 5·x[k+4] + x[k+5], rounded and down-shifted by 5.
+// Two multiplications per tap pair (×5, ×20); 64 output samples.
+// ---------------------------------------------------------------------------
+Workload make_h264_halfpel() {
+  constexpr std::int64_t kIters = 64;
+  ir::GraphBuilder b;
+  auto x0 = b.load("x", [](std::int64_t k) { return k; }, "x[k]");
+  auto x5 = b.load("x", [](std::int64_t k) { return k + 5; }, "x[k+5]");
+  auto edge = b.add(x0, x5);
+  auto x1 = b.load("x", [](std::int64_t k) { return k + 1; }, "x[k+1]");
+  auto x4 = b.load("x", [](std::int64_t k) { return k + 4; }, "x[k+4]");
+  auto inner = b.add(x1, x4);
+  auto c5 = b.constant(5);
+  auto m5 = b.mult(c5, inner, "5*(x1+x4)");
+  auto x2 = b.load("x", [](std::int64_t k) { return k + 2; }, "x[k+2]");
+  auto x3 = b.load("x", [](std::int64_t k) { return k + 3; }, "x[k+3]");
+  auto mid = b.add(x2, x3);
+  auto c20 = b.constant(20);
+  auto m20 = b.mult(c20, mid, "20*(x2+x3)");
+  auto t1 = b.sub(edge, m5);
+  auto t2 = b.add(t1, m20);
+  auto c16 = b.constant(16);
+  auto rounded = b.add(t2, c16);
+  auto out = b.shift(rounded, -5, ">>5");
+  b.store("h", [](std::int64_t k) { return k; }, out, "h[k]");
+
+  Workload w{"H264-HalfPel",
+             ir::LoopKernel("H264-HalfPel", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 2;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("x", deterministic_data("h264.x", kIters + 5, 0, 255));
+    m.allocate("h", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t v = m.read("x", k) + m.read("x", k + 5) -
+                             5 * (m.read("x", k + 1) + m.read("x", k + 4)) +
+                             20 * (m.read("x", k + 2) + m.read("x", k + 3)) +
+                             16;
+      m.write("h", k, v >> 5);
+    }
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// H.264 4×4 forward integer transform, row-pass butterfly granularity:
+// per row [a b c d]:
+//   y0 = a+b+c+d; y2 = a-b-c+d; y1 = 2(a-d)+(b-c); y3 = (a-d)-2(b-c)
+// Multiplier-free by construction (the ×2 is a shift) — the H.264 design
+// choice that makes it a perfect RSP workload.
+// ---------------------------------------------------------------------------
+Workload make_h264_idct4x4() {
+  constexpr std::int64_t kIters = 64;  // 16 blocks × 4 rows
+  ir::GraphBuilder b;
+  auto a = b.load("blk", [](std::int64_t k) { return 4 * k; }, "a");
+  auto bb = b.load("blk", [](std::int64_t k) { return 4 * k + 1; }, "b");
+  auto c = b.load("blk", [](std::int64_t k) { return 4 * k + 2; }, "c");
+  auto d = b.load("blk", [](std::int64_t k) { return 4 * k + 3; }, "d");
+  auto s0 = b.add(a, d);   // a+d
+  auto s1 = b.add(bb, c);  // b+c
+  auto d0 = b.sub(a, d);   // a-d
+  auto d1 = b.sub(bb, c);  // b-c
+  auto y0 = b.add(s0, s1);
+  auto y2 = b.sub(s0, s1);
+  auto d0x2 = b.shift(d0, 1, "2(a-d)");
+  auto y1 = b.add(d0x2, d1);
+  auto d1x2 = b.shift(d1, 1, "2(b-c)");
+  auto y3 = b.sub(d0, d1x2);
+  b.store("out", [](std::int64_t k) { return 4 * k; }, y0);
+  b.store("out", [](std::int64_t k) { return 4 * k + 1; }, y1);
+  b.store("out", [](std::int64_t k) { return 4 * k + 2; }, y2);
+  b.store("out", [](std::int64_t k) { return 4 * k + 3; }, y3);
+
+  Workload w{"H264-DCT4x4",
+             ir::LoopKernel("H264-DCT4x4", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 8;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.setup = [](ir::Memory& m) {
+    m.set("blk", deterministic_data("h264.blk", 4 * kIters, -255, 255));
+    m.allocate("out", 4 * kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t a = m.read("blk", 4 * k);
+      const std::int64_t b2 = m.read("blk", 4 * k + 1);
+      const std::int64_t c = m.read("blk", 4 * k + 2);
+      const std::int64_t d = m.read("blk", 4 * k + 3);
+      m.write("out", 4 * k, a + b2 + c + d);
+      m.write("out", 4 * k + 1, 2 * (a - d) + (b2 - c));
+      m.write("out", 4 * k + 2, a - b2 - c + d);
+      m.write("out", 4 * k + 3, (a - d) - 2 * (b2 - c));
+    }
+  };
+  return w;
+}
+
+std::vector<Workload> h264_suite() {
+  std::vector<Workload> out;
+  out.push_back(make_h264_sad4x4());
+  out.push_back(make_h264_satd4x4());
+  out.push_back(make_h264_halfpel());
+  out.push_back(make_h264_idct4x4());
+  return out;
+}
+
+}  // namespace rsp::kernels

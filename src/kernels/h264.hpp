@@ -1,0 +1,24 @@
+// H.264 encoder kernels — the paper's §6 closes with "we are currently
+// working on implementing H.264 encoder on our architecture template";
+// this module builds that workload set as an extension:
+//   * 4×4 SAD          — motion estimation cost (abs/add, no multiplier)
+//   * 4×4 Hadamard SATD— transform-domain cost (add/sub/abs/shift)
+//   * luma half-pel    — 6-tap interpolation filter (mult/add/sub/shift)
+//   * 4×4 integer DCT  — H.264 core transform (multiplier-free by design)
+// Two of the four kernels never multiply: exactly the workload class where
+// the paper's RSP template wins the most (the SAD observation of §5.3).
+#pragma once
+
+#include "kernels/workload.hpp"
+
+namespace rsp::kernels {
+
+Workload make_h264_sad4x4();
+Workload make_h264_satd4x4();
+Workload make_h264_halfpel();
+Workload make_h264_idct4x4();
+
+/// All four, in the order above.
+std::vector<Workload> h264_suite();
+
+}  // namespace rsp::kernels

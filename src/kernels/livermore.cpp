@@ -1,0 +1,250 @@
+#include "kernels/livermore.hpp"
+
+#include "ir/builder.hpp"
+
+namespace rsp::kernels {
+
+namespace {
+
+arch::ArraySpec paper_array() { return arch::ArraySpec{}; }  // 8×8, 2R/1W
+
+constexpr std::int64_t kQ = 5, kR = 3, kT = 7;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Hydro (LL1): x[k] = q + y[k]·(r·z[k+10] + t·z[k+11]),  k = 0..31.
+//
+// Body slots are ordered so that, with 3-lane waves, at most two waves
+// multiply in the same cycle: the paper reports a peak of 6 concurrent
+// multiplications (Table 3) and RS#1 stalls while RS#2 does not (Table 4).
+// ---------------------------------------------------------------------------
+Workload make_hydro() {
+  constexpr std::int64_t kIters = 32;
+  ir::GraphBuilder b;
+  auto z10 = b.load("z", [](std::int64_t k) { return k + 10; }, "z[k+10]");
+  auto z11 = b.load("z", [](std::int64_t k) { return k + 11; }, "z[k+11]");
+  auto cr = b.constant(kR, "r");
+  auto y = b.load("y", [](std::int64_t k) { return k; }, "y[k]");
+  auto ct = b.constant(kT, "t");
+  auto m1 = b.mult(cr, z10, "r*z[k+10]");
+  auto cq = b.constant(kQ, "q");
+  auto m2 = b.mult(ct, z11, "t*z[k+11]");
+  auto sum = b.add(m1, m2);
+  b.nop();  // spaces the third multiplication one slot apart
+  auto m3 = b.mult(y, sum, "y*(...)");
+  auto res = b.add(cq, m3);
+  b.store("x", [](std::int64_t k) { return k; }, res, "x[k]");
+
+  Workload w{
+      "Hydro",
+      ir::LoopKernel("Hydro", b.take(), kIters),
+      paper_array(),
+      {},
+      {},
+      {},
+      {}};
+  w.hints.lanes = 3;
+  w.hints.stagger = 2;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("y", deterministic_data("hydro.y", kIters, -20, 20));
+    m.set("z", deterministic_data("hydro.z", kIters + 11, -20, 20));
+    m.allocate("x", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      const std::int64_t v =
+          kQ + m.read("y", k) *
+                   (kR * m.read("z", k + 10) + kT * m.read("z", k + 11));
+      m.write("x", k, v);
+    }
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// ICCG (LL2-shaped): x[k] = q[k] − v[k]·w[k],  k = 0..31.
+// Single multiplication per iteration; 4-lane waves → peak 4 concurrent
+// multiplications, stall-free on every sharing plan (Table 4).
+// ---------------------------------------------------------------------------
+Workload make_iccg() {
+  constexpr std::int64_t kIters = 32;
+  ir::GraphBuilder b;
+  auto v = b.load("v", [](std::int64_t k) { return k; }, "v[k]");
+  auto wv = b.load("w", [](std::int64_t k) { return k; }, "w[k]");
+  auto m = b.mult(v, wv, "v*w");
+  auto q = b.load("q", [](std::int64_t k) { return k; }, "q[k]");
+  auto d = b.sub(q, m);
+  b.store("x", [](std::int64_t k) { return k; }, d, "x[k]");
+
+  Workload w{
+      "ICCG", ir::LoopKernel("ICCG", b.take(), kIters), paper_array(),
+      {},     {},
+      {},     {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 2;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("v", deterministic_data("iccg.v", kIters, -30, 30));
+    m.set("w", deterministic_data("iccg.w", kIters, -30, 30));
+    m.set("q", deterministic_data("iccg.q", kIters, -100, 100));
+    m.allocate("x", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k)
+      m.write("x", k, m.read("q", k) - m.read("v", k) * m.read("w", k));
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Tri-diagonal (LL5-shaped): x[i] = z[i]·(y[i] − w[i]),  i = 0..63.
+// ---------------------------------------------------------------------------
+Workload make_tridiagonal() {
+  constexpr std::int64_t kIters = 64;
+  ir::GraphBuilder b;
+  auto y = b.load("y", [](std::int64_t i) { return i; }, "y[i]");
+  auto wv = b.load("w", [](std::int64_t i) { return i; }, "w[i]");
+  auto d = b.sub(y, wv);
+  auto z = b.load("z", [](std::int64_t i) { return i; }, "z[i]");
+  auto m = b.mult(z, d, "z*(y-w)");
+  b.store("x", [](std::int64_t i) { return i; }, m, "x[i]");
+
+  Workload w{"Tri-diagonal",
+             ir::LoopKernel("Tri-diagonal", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("y", deterministic_data("tri.y", kIters, -50, 50));
+    m.set("w", deterministic_data("tri.w", kIters, -50, 50));
+    m.set("z", deterministic_data("tri.z", kIters, -20, 20));
+    m.allocate("x", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t i = 0; i < kIters; ++i)
+      m.write("x", i,
+              m.read("z", i) * (m.read("y", i) - m.read("w", i)));
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Inner product (LL3): sum = Σ x[k]·y[k],  k = 0..127.
+// Two iterations per PE (128 on 64 PEs); each PE accumulates locally
+// (loop-carried distance 64 = lanes×columns keeps the chain on one PE);
+// a tree reduction over columns and rows produces the scalar.
+// ---------------------------------------------------------------------------
+Workload make_inner_product() {
+  constexpr std::int64_t kIters = 128;
+  ir::GraphBuilder b;
+  auto x = b.load("x", [](std::int64_t k) { return k; }, "x[k]");
+  auto y = b.load("y", [](std::int64_t k) { return k; }, "y[k]");
+  auto m = b.mult(x, y, "x*y");
+  auto acc = b.accumulate(m, 0, /*distance=*/64, "acc");
+
+  Workload w{"Inner product",
+             ir::LoopKernel("Inner product", b.take(), kIters),
+             paper_array(),
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = 8;
+  w.hints.stagger = 1;
+  w.hints.columns = 8;
+  w.reduction.scope = sched::ReductionSpec::Scope::kAll;
+  w.reduction.source = acc;
+  w.reduction.array = "sum";
+  w.reduction.index0 = 0;
+  w.setup = [](ir::Memory& m) {
+    m.set("x", deterministic_data("inner.x", kIters, -25, 25));
+    m.set("y", deterministic_data("inner.y", kIters, -25, 25));
+    m.allocate("sum", 1);
+  };
+  w.golden = [](ir::Memory& m) {
+    std::int64_t sum = 0;
+    for (std::int64_t k = 0; k < kIters; ++k)
+      sum += m.read("x", k) * m.read("y", k);
+    m.write("sum", 0, sum);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// State (LL7, equation-of-state fragment), 16 iterations:
+//   x[k] = u[k] + r·(z[k] + r·y[k])
+//        + t·(u[k+3] + r·(u[k+2] + r·u[k+1])
+//        + t·(u[k+6] + r·(u[k+5] + r·u[k+4])))
+// Eight multiplications per iteration — the multiplier-hungry kernel that
+// stalls hard on RS#1/RSP#1 (paper Table 4: 15/14 stall cycles).
+// ---------------------------------------------------------------------------
+Workload make_state() {
+  constexpr std::int64_t kIters = 16;
+  ir::GraphBuilder b;
+  auto cr = b.constant(kR, "r");
+  auto ct = b.constant(kT, "t");
+  auto y = b.load("u", [](std::int64_t k) { return k + 1; }, "u[k+1]");
+  auto m1 = b.mult(cr, y, "r*u1");
+  auto u2 = b.load("u", [](std::int64_t k) { return k + 2; }, "u[k+2]");
+  auto s1 = b.add(u2, m1);
+  auto m2 = b.mult(cr, s1);
+  auto u3 = b.load("u", [](std::int64_t k) { return k + 3; }, "u[k+3]");
+  auto s2 = b.add(u3, m2);
+  auto u4 = b.load("u", [](std::int64_t k) { return k + 4; }, "u[k+4]");
+  auto m3 = b.mult(cr, u4, "r*u4");
+  auto u5 = b.load("u", [](std::int64_t k) { return k + 5; }, "u[k+5]");
+  auto s3 = b.add(u5, m3);
+  auto m4 = b.mult(cr, s3);
+  auto u6 = b.load("u", [](std::int64_t k) { return k + 6; }, "u[k+6]");
+  auto s4 = b.add(u6, m4);
+  auto m5 = b.mult(ct, s4, "t*(...)");
+  auto s5 = b.add(s2, m5);
+  auto m6 = b.mult(ct, s5, "t*(...)");
+  auto yk = b.load("y", [](std::int64_t k) { return k; }, "y[k]");
+  auto m7 = b.mult(cr, yk, "r*y");
+  auto zk = b.load("z", [](std::int64_t k) { return k; }, "z[k]");
+  auto s6 = b.add(zk, m7);
+  auto m8 = b.mult(cr, s6);
+  auto u0 = b.load("u", [](std::int64_t k) { return k; }, "u[k]");
+  auto s7 = b.add(u0, m8);
+  auto res = b.add(s7, m6);
+  b.store("x", [](std::int64_t k) { return k; }, res, "x[k]");
+
+  Workload w{
+      "State", ir::LoopKernel("State", b.take(), kIters), paper_array(),
+      {},      {},
+      {},      {}};
+  w.hints.lanes = 4;
+  w.hints.stagger = 1;
+  w.hints.columns = 4;
+  w.hints.cycle_row_bands = true;
+  w.setup = [](ir::Memory& m) {
+    m.set("u", deterministic_data("state.u", kIters + 6, -8, 8));
+    m.set("y", deterministic_data("state.y", kIters, -8, 8));
+    m.set("z", deterministic_data("state.z", kIters, -8, 8));
+    m.allocate("x", kIters);
+  };
+  w.golden = [](ir::Memory& m) {
+    for (std::int64_t k = 0; k < kIters; ++k) {
+      auto u = [&](std::int64_t i) { return m.read("u", k + i); };
+      const std::int64_t inner2 = u(6) + kR * (u(5) + kR * u(4));
+      const std::int64_t inner1 = u(3) + kR * (u(2) + kR * u(1));
+      const std::int64_t outer = kT * (inner1 + kT * inner2);
+      const std::int64_t head = u(0) + kR * (m.read("z", k) + kR * m.read("y", k));
+      m.write("x", k, head + outer);
+    }
+  };
+  return w;
+}
+
+}  // namespace rsp::kernels

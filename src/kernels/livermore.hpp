@@ -1,0 +1,25 @@
+// Livermore-loop kernels used in the paper's Table 4:
+//   Hydro         (LL1, hydro fragment)          — mult, add; 32 iterations
+//   ICCG          (LL2, incomplete Cholesky CG)  — mult, sub; 32 iterations
+//   Tri-diagonal  (LL5, tri-diagonal elimination)— mult, sub; 64 iterations
+//   Inner product (LL3)                          — mult, add; 128 iterations
+//   State         (LL7, equation of state)       — mult, add; 16 iterations
+//
+// Substitutions (documented in DESIGN.md): the ICCG and Tri-diagonal loops
+// have loop-carried recurrences through x[]; the paper maps them with 4
+// multiplications per cycle, which is only possible once the recurrence is
+// relaxed. We keep the op mix and data shape but read the recurrence input
+// from a separate pre-computed array, as a blocked solver pass would.
+#pragma once
+
+#include "kernels/workload.hpp"
+
+namespace rsp::kernels {
+
+Workload make_hydro();
+Workload make_iccg();
+Workload make_tridiagonal();
+Workload make_inner_product();
+Workload make_state();
+
+}  // namespace rsp::kernels

@@ -1,0 +1,66 @@
+#include "kernels/matmul.hpp"
+
+#include "ir/builder.hpp"
+#include "util/error.hpp"
+
+namespace rsp::kernels {
+
+Workload make_matmul(int n, std::int64_t scale) {
+  if (n < 2 || n > 16)
+    throw InvalidArgumentError("matmul order must be in [2, 16]");
+  const std::int64_t nn = n;
+
+  ir::GraphBuilder b;
+  // iteration it = j·n + i  →  lane i (array row), wave j (array column).
+  auto xi = [nn](std::int64_t k) {
+    return [nn, k](std::int64_t it) { return (it % nn) * nn + k; };
+  };
+  auto yi = [nn](std::int64_t k) {
+    return [nn, k](std::int64_t it) { return k * nn + it / nn; };
+  };
+
+  ir::NodeId acc = ir::kInvalidNode;
+  for (std::int64_t k = 0; k < nn; ++k) {
+    auto x = b.load("X", xi(k), "X[i][" + std::to_string(k) + "]");
+    auto y = b.load("Y", yi(k), "Y[" + std::to_string(k) + "][j]");
+    auto p = b.mult(x, y);
+    acc = (k == 0) ? p : b.add(acc, p);
+  }
+  auto c = b.constant(scale, "C");
+  auto z = b.mult(c, acc, "C*sum");
+  b.store("Z", [nn](std::int64_t it) { return (it % nn) * nn + it / nn; }, z,
+          "Z[i][j]");
+
+  arch::ArraySpec array;
+  array.rows = n;
+  array.cols = n;
+
+  Workload w{"MatMul" + std::to_string(n),
+             ir::LoopKernel("MatMul" + std::to_string(n), b.take(), nn * nn),
+             array,
+             {},
+             {},
+             {},
+             {}};
+  w.hints.lanes = n;
+  w.hints.stagger = 1;
+  w.hints.columns = n;
+  const std::size_t elems = static_cast<std::size_t>(n) * n;
+  w.setup = [elems](ir::Memory& m) {
+    m.set("X", deterministic_data("matmul.X", elems, -9, 9));
+    m.set("Y", deterministic_data("matmul.Y", elems, -9, 9));
+    m.allocate("Z", elems);
+  };
+  w.golden = [nn, scale](ir::Memory& m) {
+    for (std::int64_t i = 0; i < nn; ++i)
+      for (std::int64_t j = 0; j < nn; ++j) {
+        std::int64_t sum = 0;
+        for (std::int64_t k = 0; k < nn; ++k)
+          sum += m.read("X", i * nn + k) * m.read("Y", k * nn + j);
+        m.write("Z", i * nn + j, scale * sum);
+      }
+  };
+  return w;
+}
+
+}  // namespace rsp::kernels

@@ -1,0 +1,17 @@
+// Matrix multiplication — the paper's running example (§3, Figs. 2/3/6):
+//   Z[i][j] = C · Σ_k X[i][k]·Y[k][j]
+// On an n×n array, iteration (i,j) runs on PE(row=i, col=j): column j of
+// the array computes column j of Z, columns start staggered — exactly the
+// Fig. 2 loop-pipelining schedule. With the multiplier 2-stage pipelined
+// the same program needs half the concurrent multipliers (Fig. 6).
+#pragma once
+
+#include "kernels/workload.hpp"
+
+namespace rsp::kernels {
+
+/// Order-n matrix multiply mapped on an n×n array (paper uses n = 4).
+/// `scale` is the constant C applied to every dot product.
+Workload make_matmul(int n = 4, std::int64_t scale = 2);
+
+}  // namespace rsp::kernels

@@ -1,0 +1,41 @@
+#include "kernels/registry.hpp"
+
+#include "kernels/dsp.hpp"
+#include "kernels/livermore.hpp"
+#include "util/error.hpp"
+
+namespace rsp::kernels {
+
+std::vector<Workload> livermore_suite() {
+  std::vector<Workload> out;
+  out.push_back(make_hydro());
+  out.push_back(make_iccg());
+  out.push_back(make_tridiagonal());
+  out.push_back(make_inner_product());
+  out.push_back(make_state());
+  return out;
+}
+
+std::vector<Workload> dsp_suite() {
+  std::vector<Workload> out;
+  out.push_back(make_fdct());
+  out.push_back(make_sad());
+  out.push_back(make_mvm());
+  out.push_back(make_fft());
+  return out;
+}
+
+std::vector<Workload> paper_suite() {
+  std::vector<Workload> out = livermore_suite();
+  std::vector<Workload> dsp = dsp_suite();
+  for (Workload& w : dsp) out.push_back(std::move(w));
+  return out;
+}
+
+Workload find_workload(const std::string& name) {
+  for (Workload& w : paper_suite())
+    if (w.name == name) return w;
+  throw NotFoundError("unknown workload '" + name + "'");
+}
+
+}  // namespace rsp::kernels

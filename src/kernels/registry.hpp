@@ -1,0 +1,22 @@
+// The paper's kernel suite in table order, plus name lookup.
+#pragma once
+
+#include <vector>
+
+#include "kernels/workload.hpp"
+
+namespace rsp::kernels {
+
+/// Table 4 kernels: Hydro, ICCG, Tri-diagonal, Inner product, State.
+std::vector<Workload> livermore_suite();
+
+/// Table 5 kernels: 2D-FDCT, SAD, MVM, FFT.
+std::vector<Workload> dsp_suite();
+
+/// All nine kernels in paper order (Table 3 order).
+std::vector<Workload> paper_suite();
+
+/// Lookup by canonical name ("Hydro", "2D-FDCT", ...). Throws NotFoundError.
+Workload find_workload(const std::string& name);
+
+}  // namespace rsp::kernels

@@ -1,0 +1,24 @@
+#include "kernels/workload.hpp"
+
+#include "util/rng.hpp"
+
+namespace rsp::kernels {
+
+std::vector<std::int64_t> deterministic_data(const std::string& tag,
+                                             std::size_t length,
+                                             std::int64_t lo,
+                                             std::int64_t hi) {
+  // Stable seed from the tag (FNV-1a) and length.
+  std::uint64_t seed = 1469598103934665603ull;
+  for (char c : tag) {
+    seed ^= static_cast<std::uint8_t>(c);
+    seed *= 1099511628211ull;
+  }
+  seed ^= length * 0x9e3779b97f4a7c15ull;
+  util::Rng rng(seed);
+  std::vector<std::int64_t> data(length);
+  for (auto& v : data) v = rng.uniform(lo, hi);
+  return data;
+}
+
+}  // namespace rsp::kernels

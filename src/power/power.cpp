@@ -1,0 +1,75 @@
+#include "power/power.hpp"
+
+#include "arch/resources.hpp"
+
+namespace rsp::power {
+
+PowerReport PowerModel::estimate(
+    const sched::ConfigurationContext& context) const {
+  const arch::Architecture& a = context.architecture();
+  const synth::ComponentLibrary& lib = synth_.area_model().library();
+  const double k = factors_.activation_per_slice;
+
+  const double mux_area =
+      lib.component(arch::Resource::kMultiplexer).area_slices;
+  const double alu_area = lib.component(arch::Resource::kAlu).area_slices;
+  const double shift_area =
+      lib.component(arch::Resource::kShiftLogic).area_slices;
+  const double mult_area =
+      lib.component(arch::Resource::kArrayMultiplier).area_slices;
+  const double reg_area =
+      lib.component(arch::Resource::kOutputRegister).area_slices;
+  const double switch_area =
+      a.shares_multiplier()
+          ? lib.bus_switch(a.sharing.units_reachable_per_pe()).area_slices
+          : 0.0;
+
+  EnergyBreakdown e;
+  for (const sched::ScheduledOp& op : context.ops()) {
+    if (op.kind == ir::OpKind::kNop) continue;
+    // Every real op uses the operand front-end and the output register.
+    e.mux += k * mux_area;
+    e.output_regs += k * reg_area;
+    switch (op.kind) {
+      case ir::OpKind::kAdd:
+      case ir::OpKind::kSub:
+      case ir::OpKind::kAbs:
+        e.alu += k * alu_area;
+        break;
+      case ir::OpKind::kShift:
+        e.shift += k * shift_area;
+        break;
+      case ir::OpKind::kMult:
+        e.multiplier += k * mult_area;
+        if (a.shares_multiplier()) e.bus_switch += k * switch_area;
+        break;
+      case ir::OpKind::kLoad:
+      case ir::OpKind::kStore:
+        e.data_buses += k * factors_.bus_toggle_slices;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Every PE fetches one configuration word per cycle while the context
+  // runs (loop pipelining: per-PE control).
+  e.config_cache += k * factors_.cache_read_slices *
+                    static_cast<double>(context.length()) *
+                    a.array.num_pes();
+
+  PowerReport report;
+  report.execution_time_ns =
+      static_cast<double>(context.length()) * synth_.clock_ns(a);
+  // Leakage scales with the synthesized area of the whole array.
+  e.leakage = factors_.leakage_per_slice_ns * synth_.area(a) *
+              report.execution_time_ns;
+  report.energy = e;
+  report.average_power =
+      report.execution_time_ns > 0
+          ? report.energy.total() / report.execution_time_ns
+          : 0.0;
+  return report;
+}
+
+}  // namespace rsp::power

@@ -1,0 +1,77 @@
+// Activity-based energy/power estimation — the paper's stated future work
+// ("the domain-specific optimization may also be effective for reducing
+// power consumption", §6), built out as an extension.
+//
+// Model: CMOS-style split into dynamic energy (per component activation,
+// proportional to the component's synthesized area) and static leakage
+// (proportional to total area and elapsed time). Activations come from the
+// scheduled configuration context, so the numbers reflect exactly the ops
+// the mapped kernel performs:
+//   * every issued op toggles its PE's mux front-end and output register;
+//   * ALU-class ops (add/sub/abs) toggle the ALU, shifts the shifter;
+//   * multiplications toggle a multiplier (private or shared) and, when
+//     shared, the issuing PE's bus switch;
+//   * every PE reads one configuration word per cycle;
+//   * loads/stores toggle a row bus driver.
+// Units are normalised (1 energy unit = 1 slice·activation); results are
+// meaningful as *ratios* between architectures, like the paper's area and
+// delay ratios.
+#pragma once
+
+#include "arch/presets.hpp"
+#include "sched/context.hpp"
+#include "synth/synthesis.hpp"
+
+namespace rsp::power {
+
+struct EnergyBreakdown {
+  double mux = 0.0;
+  double alu = 0.0;
+  double shift = 0.0;
+  double multiplier = 0.0;
+  double output_regs = 0.0;
+  double bus_switch = 0.0;
+  double config_cache = 0.0;
+  double data_buses = 0.0;
+  double leakage = 0.0;
+
+  double dynamic_total() const {
+    return mux + alu + shift + multiplier + output_regs + bus_switch +
+           config_cache + data_buses;
+  }
+  double total() const { return dynamic_total() + leakage; }
+};
+
+struct PowerReport {
+  EnergyBreakdown energy;      ///< normalised energy for the whole kernel
+  double execution_time_ns = 0.0;
+  double average_power = 0.0;  ///< energy units per ns
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(synth::SynthesisModel synth = synth::SynthesisModel())
+      : synth_(std::move(synth)) {}
+
+  /// Energy scale factors (dimensionless tuning knobs).
+  struct Factors {
+    double activation_per_slice = 1.0;   ///< dynamic energy per slice-toggle
+    /// Static energy per slice per ns. The default puts leakage at roughly
+    /// a quarter of total energy on the base design — representative of the
+    /// 130 nm FPGA era the paper targets.
+    double leakage_per_slice_ns = 1.5e-3;
+    double cache_read_slices = 12.0;     ///< cost of one context-word read
+    double bus_toggle_slices = 20.0;     ///< cost of one row-bus transfer
+  };
+
+  PowerReport estimate(const sched::ConfigurationContext& context) const;
+
+  const Factors& factors() const { return factors_; }
+  void set_factors(Factors f) { factors_ = f; }
+
+ private:
+  synth::SynthesisModel synth_;
+  Factors factors_;
+};
+
+}  // namespace rsp::power

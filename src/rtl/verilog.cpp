@@ -1,0 +1,101 @@
+#include "rtl/verilog.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsp::rtl {
+
+std::string range_of(int width) {
+  if (width <= 0) throw InvalidArgumentError("width must be positive");
+  if (width == 1) return "";
+  return "[" + std::to_string(width - 1) + ":0] ";
+}
+
+Module::Module(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw InvalidArgumentError("module requires a name");
+}
+
+Module& Module::port(PortDir dir, const std::string& name, int width) {
+  if (width <= 0) throw InvalidArgumentError("port width must be positive");
+  ports_.push_back(Port{dir, name, width});
+  return *this;
+}
+
+Module& Module::wire(const std::string& name, int width) {
+  if (width <= 0) throw InvalidArgumentError("wire width must be positive");
+  wires_.push_back(Wire{name, width});
+  return *this;
+}
+
+Module& Module::instance(Instance inst) {
+  if (inst.module.empty() || inst.name.empty())
+    throw InvalidArgumentError("instance requires module and instance names");
+  instances_.push_back(std::move(inst));
+  return *this;
+}
+
+Module& Module::assign(const std::string& lhs, const std::string& rhs) {
+  assigns_.push_back(Assign{lhs, rhs});
+  return *this;
+}
+
+Module& Module::body(const std::string& text) {
+  bodies_.push_back(text);
+  return *this;
+}
+
+Module& Module::comment(const std::string& text) {
+  comments_.push_back(text);
+  return *this;
+}
+
+std::string Module::emit() const {
+  std::ostringstream os;
+  for (const std::string& c : comments_) os << "// " << c << "\n";
+  os << "module " << name_ << " (\n";
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    const Port& p = ports_[i];
+    os << "  " << (p.dir == PortDir::kInput ? "input  wire " : "output wire ")
+       << range_of(p.width) << p.name
+       << (i + 1 == ports_.size() ? "" : ",") << "\n";
+  }
+  os << ");\n";
+  for (const Wire& w : wires_)
+    os << "  wire " << range_of(w.width) << w.name << ";\n";
+  for (const Assign& a : assigns_)
+    os << "  assign " << a.lhs << " = " << a.rhs << ";\n";
+  for (const Instance& inst : instances_) {
+    os << "  " << inst.module << " " << inst.name << " (";
+    for (std::size_t i = 0; i < inst.connections.size(); ++i) {
+      os << (i == 0 ? "" : ",") << "\n    ." << inst.connections[i].first
+         << "(" << inst.connections[i].second << ")";
+    }
+    os << "\n  );\n";
+  }
+  for (const std::string& b : bodies_) os << b << "\n";
+  os << "endmodule\n";
+  return os.str();
+}
+
+Module& Design::add(Module module) {
+  if (find(module.name()))
+    throw InvalidArgumentError("duplicate module name: " + module.name());
+  modules_.push_back(std::move(module));
+  return modules_.back();
+}
+
+const Module* Design::find(const std::string& name) const {
+  for (const Module& m : modules_)
+    if (m.name() == name) return &m;
+  return nullptr;
+}
+
+std::string Design::emit(const std::string& header_comment) const {
+  std::ostringstream os;
+  if (!header_comment.empty()) os << "// " << header_comment << "\n\n";
+  for (const Module& m : modules_) os << m.emit() << "\n";
+  return os.str();
+}
+
+}  // namespace rsp::rtl

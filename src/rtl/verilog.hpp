@@ -1,0 +1,85 @@
+// Minimal structural-Verilog builder.
+//
+// The paper implements its architectures in VHDL and synthesises them with
+// Synplify Pro; this module is the equivalent generator layer for our
+// template: a tiny AST for synthesizable structural/behavioural Verilog
+// that the architecture generator (generate.hpp) targets. The output is
+// deterministic text so tests can assert structural properties.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rsp::rtl {
+
+enum class PortDir { kInput, kOutput };
+
+struct Port {
+  PortDir dir = PortDir::kInput;
+  std::string name;
+  int width = 1;  ///< bits; 1 renders without a range
+};
+
+struct Wire {
+  std::string name;
+  int width = 1;
+};
+
+/// Instantiation of a child module with positional-free (named) port map.
+struct Instance {
+  std::string module;
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> connections;
+};
+
+/// One continuous assignment `assign lhs = rhs;`.
+struct Assign {
+  std::string lhs;
+  std::string rhs;
+};
+
+class Module {
+ public:
+  explicit Module(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  Module& port(PortDir dir, const std::string& name, int width = 1);
+  Module& wire(const std::string& name, int width = 1);
+  Module& instance(Instance inst);
+  Module& assign(const std::string& lhs, const std::string& rhs);
+  /// Raw behavioural body (always blocks etc.), emitted verbatim.
+  Module& body(const std::string& text);
+  Module& comment(const std::string& text);
+
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Instance>& instances() const { return instances_; }
+
+  std::string emit() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> comments_;
+  std::vector<Port> ports_;
+  std::vector<Wire> wires_;
+  std::vector<Instance> instances_;
+  std::vector<Assign> assigns_;
+  std::vector<std::string> bodies_;
+};
+
+/// A design = ordered list of modules; emit() concatenates with a header.
+class Design {
+ public:
+  Module& add(Module module);
+  const std::vector<Module>& modules() const { return modules_; }
+  const Module* find(const std::string& name) const;
+  std::string emit(const std::string& header_comment = {}) const;
+
+ private:
+  std::vector<Module> modules_;
+};
+
+/// Renders `width`-bit range "[width-1:0]" (empty for width 1).
+std::string range_of(int width);
+
+}  // namespace rsp::rtl

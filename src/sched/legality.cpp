@@ -1,0 +1,132 @@
+#include "sched/legality.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsp::sched {
+
+LegalityReport check_legality(const ConfigurationContext& context) {
+  LegalityReport report;
+  const arch::Architecture& a = context.architecture();
+  const arch::ArraySpec& array = a.array;
+  const auto& ops = context.ops();
+
+  auto describe = [&](ProgIndex i) {
+    const ScheduledOp& op = ops[static_cast<std::size_t>(i)];
+    std::ostringstream os;
+    os << "op#" << i << " (" << ir::op_name(op.kind) << " @PE(" << op.pe.row
+       << "," << op.pe.col << ") cycle " << op.cycle << ")";
+    return os.str();
+  };
+
+  // 1 + 6: dataflow timing and routability.
+  for (ProgIndex i = 0; i < context.size(); ++i) {
+    const ScheduledOp& op = ops[static_cast<std::size_t>(i)];
+    for (const ProgOperand& o : op.operands) {
+      if (o.is_imm()) continue;
+      if (o.producer < 0 || o.producer >= context.size()) {
+        report.fail(describe(i) + ": operand index out of range");
+        continue;
+      }
+      const ScheduledOp& prod = ops[static_cast<std::size_t>(o.producer)];
+      if (op.cycle < prod.cycle + prod.latency)
+        report.fail(describe(i) + " consumes " + describe(o.producer) +
+                    " before its result is ready");
+      if (array.route(prod.pe, op.pe) == arch::RouteKind::kNone)
+        report.fail(describe(i) + " cannot route operand from " +
+                    describe(o.producer));
+    }
+    for (sched::ProgIndex d : op.order_deps) {
+      if (d < 0 || d >= context.size()) {
+        report.fail(describe(i) + ": order dep index out of range");
+        continue;
+      }
+      const ScheduledOp& prod = ops[static_cast<std::size_t>(d)];
+      if (op.cycle < prod.cycle + prod.latency)
+        report.fail(describe(i) + " violates memory ordering against " +
+                    describe(d));
+    }
+  }
+
+  // 2: PE exclusivity. A critical (multiplied) op occupies its PE for all
+  // `latency` stages; every other op for one cycle.
+  std::map<std::pair<int, int>, ProgIndex> pe_cycle;
+  for (ProgIndex i = 0; i < context.size(); ++i) {
+    const ScheduledOp& op = ops[static_cast<std::size_t>(i)];
+    const int occupancy = ir::is_critical_op(op.kind) ? op.latency : 1;
+    for (int s = 0; s < occupancy; ++s) {
+      auto key = std::make_pair(array.linear(op.pe), op.cycle + s);
+      auto [it, inserted] = pe_cycle.emplace(key, i);
+      if (!inserted)
+        report.fail(describe(i) + " and " + describe(it->second) +
+                    " share a PE in the same cycle");
+    }
+  }
+
+  // 3: bus caps.
+  std::map<std::pair<int, int>, int> reads, writes;
+  for (const ScheduledOp& op : ops) {
+    if (op.kind == ir::OpKind::kLoad) ++reads[{op.pe.row, op.cycle}];
+    if (op.kind == ir::OpKind::kStore) ++writes[{op.pe.row, op.cycle}];
+  }
+  for (const auto& [key, n] : reads)
+    if (n > array.read_buses_per_row)
+      report.fail("row " + std::to_string(key.first) + " issues " +
+                  std::to_string(n) + " loads in cycle " +
+                  std::to_string(key.second) + " (cap " +
+                  std::to_string(array.read_buses_per_row) + ")");
+  for (const auto& [key, n] : writes)
+    if (n > array.write_buses_per_row)
+      report.fail("row " + std::to_string(key.first) + " issues " +
+                  std::to_string(n) + " stores in cycle " +
+                  std::to_string(key.second) + " (cap " +
+                  std::to_string(array.write_buses_per_row) + ")");
+
+  // 4: shared units. 5: latencies.
+  std::map<std::pair<std::string, int>, ProgIndex> unit_issue;
+  for (ProgIndex i = 0; i < context.size(); ++i) {
+    const ScheduledOp& op = ops[static_cast<std::size_t>(i)];
+    const bool is_mult = ir::is_critical_op(op.kind);
+    const int expected_latency = is_mult ? a.mult_latency() : 1;
+    if (op.latency != expected_latency)
+      report.fail(describe(i) + " has latency " + std::to_string(op.latency) +
+                  ", architecture dictates " +
+                  std::to_string(expected_latency));
+    if (is_mult && a.shares_multiplier()) {
+      if (!op.unit) {
+        report.fail(describe(i) + " multiplies without a shared unit");
+        continue;
+      }
+      const auto reachable = a.sharing.reachable_units(array, op.pe);
+      if (std::find(reachable.begin(), reachable.end(), *op.unit) ==
+          reachable.end())
+        report.fail(describe(i) + " uses unreachable unit " +
+                    arch::to_string(*op.unit));
+      auto key = std::make_pair(arch::to_string(*op.unit), op.cycle);
+      auto [it, inserted] = unit_issue.emplace(key, i);
+      if (!inserted)
+        report.fail("unit " + key.first + " accepts two issues in cycle " +
+                    std::to_string(op.cycle) + ": " + describe(i) + " and " +
+                    describe(it->second));
+    } else if (op.unit) {
+      report.fail(describe(i) + " names a shared unit on architecture '" +
+                  a.name + "' which shares nothing");
+    }
+  }
+
+  return report;
+}
+
+void require_legal(const ConfigurationContext& context) {
+  const LegalityReport report = check_legality(context);
+  if (!report.ok)
+    throw Error("illegal configuration context: " + report.violations.front() +
+                (report.violations.size() > 1
+                     ? " (+" + std::to_string(report.violations.size() - 1) +
+                           " more)"
+                     : ""));
+}
+
+}  // namespace rsp::sched

@@ -1,0 +1,224 @@
+#include "sched/mapper.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsp::sched {
+
+void MappingHints::validate() const {
+  if (lanes <= 0) throw InvalidArgumentError("lanes must be positive");
+  if (stagger < 0) throw InvalidArgumentError("stagger must be >= 0");
+  if (columns <= 0) throw InvalidArgumentError("columns must be positive");
+  if (first_col < 0 || first_row < 0)
+    throw InvalidArgumentError("first_row/first_col must be >= 0");
+}
+
+namespace {
+
+/// Priority layout: waves are `wave_pitch` apart; inside a wave, the body
+/// slot dominates and the lane breaks ties — lane order implements the
+/// paper's "shared resources are assigned in the order of loop iteration".
+struct PriorityLayout {
+  std::int64_t wave_pitch;
+  std::int64_t lanes;
+
+  std::int64_t of(std::int64_t wave, std::int64_t slot,
+                  std::int64_t lane) const {
+    return (wave * wave_pitch + slot) * (lanes + 1) + lane;
+  }
+};
+
+}  // namespace
+
+PlacedProgram LoopPipeliner::map(const ir::LoopKernel& kernel,
+                                 const MappingHints& hints,
+                                 const ReductionSpec& reduction) const {
+  ir::UnrolledGraph unrolled(kernel);
+  return map(kernel, unrolled, hints, reduction);
+}
+
+PlacedProgram LoopPipeliner::map(const ir::LoopKernel& kernel,
+                                 const ir::UnrolledGraph& unrolled,
+                                 const MappingHints& hints,
+                                 const ReductionSpec& reduction) const {
+  hints.validate();
+  if (hints.first_row + hints.lanes > array_.rows)
+    throw InfeasibleError("kernel '" + kernel.name() + "': " +
+                          std::to_string(hints.lanes) + " lanes from row " +
+                          std::to_string(hints.first_row) +
+                          " exceed the array's " +
+                          std::to_string(array_.rows) + " rows");
+  if (hints.first_col + hints.columns > array_.cols)
+    throw InfeasibleError("kernel '" + kernel.name() +
+                          "': columns exceed the array width");
+
+  const ir::DataflowGraph& body = kernel.body();
+  const std::int32_t body_len = body.size();
+  const std::int64_t trips = kernel.trip_count();
+  const std::int64_t lanes = hints.lanes;
+
+  // The body is linearised in node-id order (already topological); the
+  // wave pitch must exceed the body length so priorities stay monotone
+  // along loop-carried edges between consecutive waves.
+  const PriorityLayout prio{static_cast<std::int64_t>(body_len) + lanes,
+                            lanes};
+
+  PlacedProgram program(array_);
+
+  const std::int64_t bands =
+      hints.cycle_row_bands
+          ? std::max<std::int64_t>(1, (array_.rows - hints.first_row) / lanes)
+          : 1;
+  auto pe_of_iter = [&](std::int64_t iter) {
+    const std::int64_t wave = iter / lanes;
+    const std::int64_t lane = iter % lanes;
+    const std::int64_t band = (wave / hints.columns) % bands;
+    return arch::PeCoord{
+        hints.first_row + static_cast<int>(band * lanes + lane),
+        hints.first_col + static_cast<int>(wave % hints.columns)};
+  };
+
+  // --- loop body ---------------------------------------------------------
+  for (ir::OpId uid = 0; uid < unrolled.size(); ++uid) {
+    const ir::ConcreteOp& cop = unrolled.op(uid);
+    const std::int64_t wave = cop.iter / lanes;
+    const std::int64_t lane = cop.iter % lanes;
+
+    ProgramOp pop;
+    pop.kind = cop.kind;
+    pop.pe = pe_of_iter(cop.iter);
+    pop.priority = prio.of(wave, cop.body_node, lane);
+    pop.not_before =
+        static_cast<int>(wave) * hints.stagger + cop.body_node;
+    pop.iter = cop.iter;
+    pop.source = uid;
+    pop.imm = cop.imm;
+    pop.array = cop.array;
+    pop.address = cop.address;
+
+    for (const ir::ConcreteOperand& operand : cop.operands) {
+      ProgOperand po;
+      if (operand.is_imm()) {
+        po.imm = operand.imm;
+      } else {
+        po.producer = program.index_of_source(operand.op);
+        RSP_ASSERT_MSG(po.producer != kNoProducer,
+                       "producer op was not placed");
+        // Routability check with a kernel-level diagnostic.
+        const arch::PeCoord from = program.op(po.producer).pe;
+        if (array_.route(from, pop.pe) == arch::RouteKind::kNone)
+          throw InvalidArgumentError(
+              "kernel '" + kernel.name() +
+              "': loop-carried dependence between iterations " +
+              std::to_string(unrolled.op(operand.op).iter) + " and " +
+              std::to_string(cop.iter) +
+              " is not routable under the given mapping hints");
+      }
+      pop.operands.push_back(po);
+    }
+    for (ir::OpId dep : cop.mem_deps) {
+      const ProgIndex pi = program.index_of_source(dep);
+      RSP_ASSERT_MSG(pi != kNoProducer, "memory dep op was not placed");
+      pop.order_deps.push_back(pi);
+    }
+    program.add(std::move(pop));
+  }
+
+  // --- reduction epilogue -------------------------------------------------
+  if (reduction.enabled()) {
+    if (reduction.source < 0 || reduction.source >= body_len)
+      throw InvalidArgumentError("reduction source node out of range");
+    if (reduction.array.empty())
+      throw InvalidArgumentError("reduction requires a destination array");
+
+    // Final value of the source node on every PE = the instance with the
+    // highest priority per PE.
+    std::map<int, ProgIndex> partial;  // pe linear id -> program index
+    for (ProgIndex i = 0; i < program.size(); ++i) {
+      const ProgramOp& op = program.op(i);
+      if (op.source == ir::kInvalidOp) continue;
+      if (unrolled.op(op.source).body_node != reduction.source) continue;
+      const int pe = array_.linear(op.pe);
+      auto it = partial.find(pe);
+      if (it == partial.end() ||
+          program.op(it->second).priority < op.priority)
+        partial[pe] = i;
+    }
+    if (partial.empty())
+      throw InvalidArgumentError("reduction source produced no partials");
+
+    const std::int64_t num_waves = (trips + lanes - 1) / lanes;
+    std::int64_t level = 0;
+    auto epilogue_priority = [&]() {
+      return prio.of(num_waves + level, body_len, 0) + level;
+    };
+
+    // Combines `b` into `a` (result lives on a's PE); returns new index.
+    auto combine = [&](ProgIndex a, ProgIndex b) {
+      ProgramOp add;
+      add.kind = ir::OpKind::kAdd;
+      add.pe = program.op(a).pe;
+      add.priority = epilogue_priority();
+      add.operands = {ProgOperand{a, 0}, ProgOperand{b, 0}};
+      return program.add(std::move(add));
+    };
+    auto store_result = [&](ProgIndex value, std::int64_t index) {
+      ProgramOp st;
+      st.kind = ir::OpKind::kStore;
+      st.pe = program.op(value).pe;
+      st.priority = epilogue_priority();
+      st.operands = {ProgOperand{value, 0}};
+      st.array = reduction.array;
+      st.address = index;
+      program.add(std::move(st));
+    };
+
+    // Phase 1: within each column, tree-reduce the lanes (column routes).
+    std::map<int, std::vector<ProgIndex>> by_col;
+    for (const auto& [pe_lin, idx] : partial)
+      by_col[array_.coord(pe_lin).col].push_back(idx);
+
+    auto tree_reduce = [&](std::vector<ProgIndex> items) {
+      while (items.size() > 1) {
+        ++level;
+        const std::size_t half = (items.size() + 1) / 2;
+        std::vector<ProgIndex> next;
+        for (std::size_t i = 0; i < half; ++i) {
+          if (i + half < items.size())
+            next.push_back(combine(items[i], items[i + half]));
+          else
+            next.push_back(items[i]);
+        }
+        items = std::move(next);
+      }
+      return items.front();
+    };
+
+    if (reduction.scope == ReductionSpec::Scope::kAll) {
+      std::vector<ProgIndex> col_sums;
+      for (auto& [col, items] : by_col) col_sums.push_back(tree_reduce(items));
+      ++level;
+      const ProgIndex total = tree_reduce(col_sums);
+      ++level;
+      store_result(total, reduction.index0);
+    } else {  // kPerRow: reduce along each row, store per row.
+      std::map<int, std::vector<ProgIndex>> by_row;
+      for (const auto& [pe_lin, idx] : partial)
+        by_row[array_.coord(pe_lin).row].push_back(idx);
+      for (auto& [row, items] : by_row) {
+        const ProgIndex sum = tree_reduce(items);
+        ++level;
+        store_result(sum, reduction.index0 + row);
+        level -= 1;  // rows reduce in parallel: share priority bands
+      }
+      ++level;
+    }
+  }
+
+  program.validate();
+  return program;
+}
+
+}  // namespace rsp::sched

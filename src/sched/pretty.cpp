@@ -1,0 +1,77 @@
+#include "sched/pretty.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rsp::sched {
+
+std::string render_schedule(const ConfigurationContext& context,
+                            PrettyOptions options) {
+  const arch::ArraySpec& array = context.architecture().array;
+  const int cycles = std::min(context.length(), options.max_cycles);
+  const bool pipelined = context.architecture().pipelines_multiplier();
+  const int stages = context.architecture().mult_latency();
+
+  // lane -> cycle -> symbols.
+  const int lanes = options.per_pe ? array.num_pes() : array.cols;
+  std::map<std::pair<int, int>, std::vector<std::string>> cells;
+
+  for (const ScheduledOp& op : context.ops()) {
+    const int lane =
+        options.per_pe ? array.linear(op.pe) : op.pe.col;
+    if (ir::is_critical_op(op.kind) && pipelined && options.show_stages) {
+      for (int s = 0; s < stages; ++s) {
+        if (op.cycle + s >= cycles) break;
+        cells[{lane, op.cycle + s}].push_back(std::to_string(s + 1) + "*");
+      }
+    } else {
+      if (op.cycle < cycles)
+        cells[{lane, op.cycle}].push_back(ir::op_symbol(op.kind));
+    }
+  }
+
+  std::vector<std::string> header = {options.per_pe ? "PE" : "col#"};
+  for (int t = 0; t < cycles; ++t) header.push_back(std::to_string(t + 1));
+  util::Table table(std::move(header));
+
+  for (int lane = 0; lane < lanes; ++lane) {
+    std::vector<std::string> row;
+    if (options.per_pe) {
+      const arch::PeCoord pe = array.coord(lane);
+      row.push_back("(" + std::to_string(pe.row) + "," +
+                    std::to_string(pe.col) + ")");
+    } else {
+      row.push_back(std::to_string(lane + 1));
+    }
+    bool any = false;
+    for (int t = 0; t < cycles; ++t) {
+      auto it = cells.find({lane, t});
+      if (it == cells.end()) {
+        row.push_back("");
+        continue;
+      }
+      any = true;
+      // Deduplicate symbols, keeping order of first appearance.
+      std::vector<std::string> unique;
+      for (const std::string& s : it->second)
+        if (std::find(unique.begin(), unique.end(), s) == unique.end())
+          unique.push_back(s);
+      row.push_back(util::join(unique, ","));
+    }
+    if (any || options.per_pe) table.add_row(std::move(row));
+  }
+
+  std::ostringstream os;
+  os << table.render();
+  if (context.length() > options.max_cycles)
+    os << "... (" << context.length() - options.max_cycles
+       << " more cycles truncated)\n";
+  return os.str();
+}
+
+}  // namespace rsp::sched

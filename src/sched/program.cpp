@@ -1,0 +1,86 @@
+#include "sched/program.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsp::sched {
+
+ProgIndex PlacedProgram::add(ProgramOp op) {
+  const ProgIndex idx = size();
+  if (!array_.contains(op.pe))
+    throw InvalidArgumentError("placed op PE out of range");
+  const int arity = ir::op_arity(op.kind);
+  if (static_cast<int>(op.operands.size()) != arity)
+    throw InvalidArgumentError(std::string("placed op of kind ") +
+                               ir::op_name(op.kind) + " expects " +
+                               std::to_string(arity) + " operands");
+  for (const ProgOperand& o : op.operands) {
+    if (o.is_imm()) continue;
+    if (o.producer < 0 || o.producer >= idx)
+      throw InvalidArgumentError(
+          "placed op operands must reference earlier ops");
+  }
+  if (ir::is_memory_op(op.kind) && op.array.empty())
+    throw InvalidArgumentError("memory op requires an array name");
+  for (ProgIndex d : op.order_deps)
+    if (d < 0 || d >= idx)
+      throw InvalidArgumentError(
+          "order dependences must reference earlier ops");
+  if (op.source != ir::kInvalidOp) {
+    if (op.source >= static_cast<ir::OpId>(source_index_.size()))
+      source_index_.resize(static_cast<std::size_t>(op.source) + 1,
+                           kNoProducer);
+    source_index_[static_cast<std::size_t>(op.source)] = idx;
+  }
+  ops_.push_back(std::move(op));
+  return idx;
+}
+
+const ProgramOp& PlacedProgram::op(ProgIndex i) const {
+  if (i < 0 || i >= size()) throw NotFoundError("program index out of range");
+  return ops_[static_cast<std::size_t>(i)];
+}
+
+ProgIndex PlacedProgram::index_of_source(ir::OpId source) const {
+  if (source < 0 ||
+      source >= static_cast<ir::OpId>(source_index_.size()))
+    return kNoProducer;
+  return source_index_[static_cast<std::size_t>(source)];
+}
+
+void PlacedProgram::validate() const {
+  for (ProgIndex i = 0; i < size(); ++i) {
+    const ProgramOp& op = ops_[static_cast<std::size_t>(i)];
+    RSP_ASSERT(array_.contains(op.pe));
+    for (const ProgOperand& o : op.operands) {
+      if (o.is_imm()) continue;
+      RSP_ASSERT_MSG(o.producer >= 0 && o.producer < i,
+                     "operands must reference earlier ops");
+      const ProgramOp& prod = ops_[static_cast<std::size_t>(o.producer)];
+      if (array_.route(prod.pe, op.pe) == arch::RouteKind::kNone)
+        throw InvalidArgumentError(
+            "producer→consumer edge is not routable in one hop between " +
+            std::to_string(prod.pe.row) + "," + std::to_string(prod.pe.col) +
+            " and " + std::to_string(op.pe.row) + "," +
+            std::to_string(op.pe.col));
+      if (prod.priority >= op.priority)
+        throw InvalidArgumentError(
+            "priorities must strictly increase along dependence edges");
+    }
+    for (ProgIndex d : op.order_deps) {
+      const ProgramOp& prod = ops_[static_cast<std::size_t>(d)];
+      if (prod.priority >= op.priority)
+        throw InvalidArgumentError(
+            "priorities must strictly increase along order dependences");
+    }
+  }
+}
+
+std::int64_t PlacedProgram::count(ir::OpKind kind) const {
+  return static_cast<std::int64_t>(
+      std::count_if(ops_.begin(), ops_.end(),
+                    [&](const ProgramOp& o) { return o.kind == kind; }));
+}
+
+}  // namespace rsp::sched

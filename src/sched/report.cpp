@@ -1,0 +1,34 @@
+#include "sched/report.hpp"
+
+namespace rsp::sched {
+
+ScheduleStats stats_of(const ConfigurationContext& context) {
+  ScheduleStats s;
+  s.length = context.length();
+  s.mult_histogram = context.critical_issues_per_cycle();
+  s.max_mults_per_cycle = context.max_critical_issues_per_cycle();
+  s.total_ops = context.size();
+  for (const ScheduledOp& op : context.ops())
+    if (ir::is_critical_op(op.kind)) ++s.total_mults;
+  return s;
+}
+
+PerfPoint measure(const ContextScheduler& scheduler,
+                  const PlacedProgram& program,
+                  const arch::Architecture& architecture) {
+  PerfPoint p;
+  const ConfigurationContext real = scheduler.schedule(program, architecture);
+  p.cycles = real.length();
+  if (!architecture.shares_multiplier()) {
+    p.nostall_cycles = p.cycles;
+    p.stalls = 0;
+    return p;
+  }
+  const ConfigurationContext free_run =
+      scheduler.schedule(program, unlimited_units(architecture));
+  p.nostall_cycles = free_run.length();
+  p.stalls = p.cycles - p.nostall_cycles;
+  return p;
+}
+
+}  // namespace rsp::sched

@@ -1,0 +1,136 @@
+#include "sched/steady_state.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsp::sched {
+
+const char* to_string(SteadyState::Bottleneck b) {
+  switch (b) {
+    case SteadyState::Bottleneck::kPe:
+      return "PE";
+    case SteadyState::Bottleneck::kReadBus:
+      return "read bus";
+    case SteadyState::Bottleneck::kWriteBus:
+      return "write bus";
+    case SteadyState::Bottleneck::kSharedUnit:
+      return "shared unit";
+    case SteadyState::Bottleneck::kNone:
+      return "none";
+  }
+  throw InternalError("unknown Bottleneck");
+}
+
+namespace {
+
+/// True when offsetting a second copy of the context by `ii` cycles double
+/// -books some resource (PE slot, bus slot, unit issue slot).
+bool conflicts_at(const ConfigurationContext& ctx, int ii) {
+  const arch::ArraySpec& array = ctx.architecture().array;
+
+  // Occupancy of one run, keyed by resource id and cycle.
+  std::map<std::pair<int, int>, int> pe;           // (pe, t)
+  std::map<std::pair<int, int>, int> reads, writes;  // (row, t)
+  std::map<std::pair<std::string, int>, int> units;  // (unit, t)
+  for (const ScheduledOp& op : ctx.ops()) {
+    const int occupancy = ir::is_critical_op(op.kind) ? op.latency : 1;
+    for (int s = 0; s < occupancy; ++s)
+      ++pe[{array.linear(op.pe), op.cycle + s}];
+    if (op.kind == ir::OpKind::kLoad) ++reads[{op.pe.row, op.cycle}];
+    if (op.kind == ir::OpKind::kStore) ++writes[{op.pe.row, op.cycle}];
+    if (op.unit) ++units[{arch::to_string(*op.unit), op.cycle}];
+  }
+
+  // Overlap window: run 2 shifted by ii. A clash exists when combined
+  // usage at some (resource, cycle) exceeds the capacity.
+  for (const auto& [key, n] : pe) {
+    auto it = pe.find({key.first, key.second + ii});
+    if (it != pe.end() && n + it->second > 1) return true;
+  }
+  for (const auto& [key, n] : reads) {
+    auto it = reads.find({key.first, key.second + ii});
+    if (it != reads.end() &&
+        n + it->second > array.read_buses_per_row)
+      return true;
+  }
+  for (const auto& [key, n] : writes) {
+    auto it = writes.find({key.first, key.second + ii});
+    if (it != writes.end() &&
+        n + it->second > array.write_buses_per_row)
+      return true;
+  }
+  for (const auto& [key, n] : units) {
+    auto it = units.find({key.first, key.second + ii});
+    if (it != units.end() && n + it->second > 1) return true;
+  }
+  return false;
+}
+
+SteadyState::Bottleneck bottleneck_at(const ConfigurationContext& ctx,
+                                      int ii) {
+  // Re-test each class in isolation at ii-1 (the first infeasible offset).
+  const arch::ArraySpec& array = ctx.architecture().array;
+  std::map<std::pair<int, int>, int> pe, reads, writes;
+  std::map<std::pair<std::string, int>, int> units;
+  for (const ScheduledOp& op : ctx.ops()) {
+    const int occupancy = ir::is_critical_op(op.kind) ? op.latency : 1;
+    for (int s = 0; s < occupancy; ++s)
+      ++pe[{array.linear(op.pe), op.cycle + s}];
+    if (op.kind == ir::OpKind::kLoad) ++reads[{op.pe.row, op.cycle}];
+    if (op.kind == ir::OpKind::kStore) ++writes[{op.pe.row, op.cycle}];
+    if (op.unit) ++units[{arch::to_string(*op.unit), op.cycle}];
+  }
+  for (const auto& [key, n] : pe) {
+    auto it = pe.find({key.first, key.second + ii});
+    if (it != pe.end() && n + it->second > 1)
+      return SteadyState::Bottleneck::kPe;
+  }
+  for (const auto& [key, n] : units) {
+    auto it = units.find({key.first, key.second + ii});
+    if (it != units.end() && n + it->second > 1)
+      return SteadyState::Bottleneck::kSharedUnit;
+  }
+  for (const auto& [key, n] : reads) {
+    auto it = reads.find({key.first, key.second + ii});
+    if (it != reads.end() && n + it->second > array.read_buses_per_row)
+      return SteadyState::Bottleneck::kReadBus;
+  }
+  for (const auto& [key, n] : writes) {
+    auto it = writes.find({key.first, key.second + ii});
+    if (it != writes.end() && n + it->second > array.write_buses_per_row)
+      return SteadyState::Bottleneck::kWriteBus;
+  }
+  return SteadyState::Bottleneck::kNone;
+}
+
+}  // namespace
+
+SteadyState analyze_steady_state(const ConfigurationContext& context) {
+  SteadyState ss;
+  ss.latency = context.length();
+  if (context.size() == 0) {
+    ss.initiation_interval = 0;
+    return ss;
+  }
+
+  // Dataflow between runs is decoupled through memory, so only structural
+  // hazards constrain the offset. At interval ii, every pair of in-flight
+  // runs is offset by a multiple of ii, so all multiples below the latency
+  // must be clash-free. offset = latency is always safe.
+  auto safe = [&](int ii) {
+    for (int off = ii; off < ss.latency; off += ii)
+      if (conflicts_at(context, off)) return false;
+    return true;
+  };
+  int ii = 1;
+  while (ii < ss.latency && !safe(ii)) ++ii;
+  ss.initiation_interval = ii;
+  ss.ops_per_cycle = static_cast<double>(context.size()) / ii;
+  if (ii > 1 && ii <= ss.latency)
+    ss.bottleneck = bottleneck_at(context, ii - 1);
+  return ss;
+}
+
+}  // namespace rsp::sched

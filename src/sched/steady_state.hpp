@@ -1,0 +1,31 @@
+// Steady-state (back-to-back) execution analysis.
+//
+// The paper's contexts describe one batch of loop iterations; streaming
+// applications re-run the same context for the next data tile. Consecutive
+// runs can overlap: run k+1 may start before run k drains, as long as no
+// PE, bus or shared unit is double-booked and dataflow stays causal. The
+// minimal safe offset between runs is the *initiation interval* (II); the
+// steady-state throughput is ops-per-cycle at that II. This quantifies the
+// pipelining headroom the schedule grids (Figs. 2/6) show visually: the
+// staggered tail of one run interleaves with the head of the next.
+#pragma once
+
+#include "sched/context.hpp"
+
+namespace rsp::sched {
+
+struct SteadyState {
+  int latency = 0;          ///< single-run length (context cycles)
+  int initiation_interval = 0;  ///< min safe offset between runs
+  double ops_per_cycle = 0.0;   ///< context ops / II
+  /// Resource class that binds the II.
+  enum class Bottleneck { kPe, kReadBus, kWriteBus, kSharedUnit, kNone };
+  Bottleneck bottleneck = Bottleneck::kNone;
+};
+
+const char* to_string(SteadyState::Bottleneck b);
+
+/// Computes the steady state of repeating `context` indefinitely.
+SteadyState analyze_steady_state(const ConfigurationContext& context);
+
+}  // namespace rsp::sched

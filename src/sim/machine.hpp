@@ -1,0 +1,63 @@
+// Cycle-accurate functional simulator of the RSP array.
+//
+// Executes a configuration context cycle by cycle against a data memory:
+// PEs read operands from producer output registers, loads/stores go over
+// the row buses, shared multiplications flow through the bus switch into
+// the (possibly pipelined) shared unit and return `latency` cycles later.
+// The simulator validates structural legality as it runs (it refuses
+// contexts that oversubscribe a PE, bus or unit) and gathers utilisation
+// statistics; its final memory must match the reference interpreter, which
+// the integration tests assert for every kernel × architecture pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/interp.hpp"
+#include "sched/context.hpp"
+
+namespace rsp::sim {
+
+struct UtilizationStats {
+  int cycles = 0;
+  std::int64_t pe_issue_slots = 0;     ///< total PE-cycles available
+  std::int64_t pe_issues = 0;          ///< PE-cycles actually used
+  std::int64_t bus_reads = 0;
+  std::int64_t bus_writes = 0;
+  std::int64_t shared_unit_slots = 0;  ///< unit issue slots available
+  std::int64_t shared_unit_issues = 0; ///< multiplications issued to units
+  std::int64_t mult_ops = 0;
+
+  double pe_utilization() const {
+    return pe_issue_slots ? static_cast<double>(pe_issues) / pe_issue_slots
+                          : 0.0;
+  }
+  double shared_unit_utilization() const {
+    return shared_unit_slots
+               ? static_cast<double>(shared_unit_issues) / shared_unit_slots
+               : 0.0;
+  }
+};
+
+struct SimResult {
+  UtilizationStats stats;
+  std::vector<std::int64_t> values;  ///< final value of every context op
+};
+
+class Machine {
+ public:
+  explicit Machine(ir::DatapathMode mode = ir::DatapathMode::kExact)
+      : mode_(mode) {}
+
+  /// Runs the context to completion, mutating `memory`.
+  /// Throws rsp::Error on any structural violation encountered while
+  /// executing (double-booked PE/bus/unit, operand not ready, ...).
+  SimResult run(const sched::ConfigurationContext& context,
+                ir::Memory& memory) const;
+
+ private:
+  ir::DatapathMode mode_;
+};
+
+}  // namespace rsp::sim

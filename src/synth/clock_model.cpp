@@ -1,0 +1,53 @@
+#include "synth/clock_model.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace rsp::synth {
+
+double ClockModel::mult_stage_ns(int stages) const {
+  if (stages < 1) throw InvalidArgumentError("stages must be >= 1");
+  const double mult = lib_.component(arch::Resource::kArrayMultiplier).delay_ns;
+  if (stages == 1) return mult;
+  return mult / stages + lib_.pipeline_reg_delay();
+}
+
+ClockBreakdown ClockModel::breakdown(const arch::Architecture& a) const {
+  a.validate();
+  ClockBreakdown out;
+
+  if (!a.shares_multiplier()) {
+    out.pe_path_ns = lib_.base_pe().delay_ns;
+    out.margin_ns = lib_.base_array_margin_ns();
+    out.total_ns = out.pe_path_ns + out.margin_ns;
+    return out;
+  }
+
+  const int reachable = a.sharing.units_reachable_per_pe();
+  const int total_units = a.sharing.total_units(a.array);
+  out.switch_ns = lib_.bus_switch(reachable).delay_ns;
+  out.wire_load_ns =
+      lib_.wire_load_ns(total_units, a.pipelines_multiplier());
+
+  if (!a.pipelines_multiplier()) {
+    // The multiplication still completes within one cycle, so the cycle
+    // must cover the whole monolithic PE path plus the shared-network trip.
+    out.pe_path_ns = lib_.base_pe().delay_ns;
+  } else {
+    // Pipelined: the clock covers the longest stage.
+    out.pe_path_ns = std::max(lib_.shared_pe().delay_ns,
+                              mult_stage_ns(a.sharing.pipeline_stages));
+  }
+  out.total_ns = out.pe_path_ns + out.switch_ns + out.wire_load_ns;
+  return out;
+}
+
+double ClockModel::reduction_percent(const arch::Architecture& a) const {
+  const arch::Architecture base =
+      arch::base_architecture(a.array.rows, a.array.cols);
+  const double base_clock = clock_ns(base);
+  return 100.0 * (base_clock - clock_ns(a)) / base_clock;
+}
+
+}  // namespace rsp::synth

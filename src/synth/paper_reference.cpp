@@ -1,0 +1,149 @@
+#include "synth/paper_reference.hpp"
+
+#include "util/error.hpp"
+
+namespace rsp::synth::paper {
+
+const std::vector<ComponentRow>& table1() {
+  static const std::vector<ComponentRow> rows = {
+      {"PE", 910, 100.0, 25.6, 100.0},
+      {"Multiplexer", 58, 6.37, 1.3, 12.89},
+      {"ALU", 253, 27.80, 11.5, 44.92},
+      {"Array multiplier", 416, 45.71, 19.7, 76.95},
+      {"Shift logic", 156, 17.14, 2.5, 17.58},
+  };
+  return rows;
+}
+
+const std::vector<SynthesisRow>& table2() {
+  static const std::vector<SynthesisRow> rows = {
+      {"Base", 910, 0, 55739, 0.0, 25.6, 0.0, 26.0, 0.0},
+      {"RS#1", 489, 10, 32446, 42.8, 25.6, 0.7, 26.85, -4.88},
+      {"RS#2", 489, 34, 36816, 34.05, 25.6, 1.2, 27.97, -9.25},
+      {"RS#3", 489, 55, 40577, 27.02, 25.6, 1.8, 28.89, -11.11},
+      {"RS#4", 489, 68, 44768, 19.69, 25.6, 2.0, 30.23, -16.27},
+      {"RSP#1", 489, 10, 33249, 40.35, 15.3, 0.7, 16.72, 34.69},
+      {"RSP#2", 489, 34, 38422, 31.07, 15.3, 1.2, 17.26, 32.58},
+      {"RSP#3", 489, 55, 42987, 22.88, 15.3, 1.8, 18.21, 29.97},
+      {"RSP#4", 489, 68, 47981, 13.92, 15.3, 2.0, 18.83, 27.58},
+  };
+  return rows;
+}
+
+const SynthesisRow& table2_row(const std::string& arch) {
+  for (const SynthesisRow& row : table2())
+    if (row.arch == arch) return row;
+  throw NotFoundError("no Table 2 row for architecture '" + arch + "'");
+}
+
+namespace {
+
+// Helper to keep the table literals compact.
+PerformanceCell cell(int cycles, double et, double dr) {
+  return PerformanceCell{cycles, et, dr, std::nullopt};
+}
+PerformanceCell cell(int cycles, double et, double dr, int stalls) {
+  return PerformanceCell{cycles, et, dr, stalls};
+}
+
+}  // namespace
+
+const std::vector<KernelRecord>& table4() {
+  static const std::vector<KernelRecord> rows = {
+      {"Hydro",
+       32,
+       {cell(15, 390.0, 0.0), cell(19, 510.15, -30.80, 4),
+        cell(15, 419.55, -7.58, 0), cell(15, 433.35, -11.11, 0),
+        cell(15, 453.45, -16.27, 0), cell(21, 351.12, 10.0, 2),
+        cell(19, 327.94, 15.92, 0), cell(19, 345.99, 11.28, 0),
+        cell(19, 357.77, 8.26, 0)}},
+      {"ICCG",
+       32,
+       {cell(18, 468.0, 0.0), cell(18, 483.3, -3.26, 0),
+        cell(18, 503.46, -7.58, 0), cell(18, 520.02, -11.11, 0),
+        cell(18, 544.14, -16.27, 0), cell(19, 317.68, 32.12, 0),
+        cell(19, 327.94, 29.93, 0), cell(19, 345.99, 26.07, 0),
+        cell(19, 357.77, 23.55, 0)}},
+      {"Tri-diagonal",
+       64,
+       {cell(17, 442.0, 0.0), cell(17, 456.45, -3.26, 0),
+        cell(17, 475.49, -7.58, 0), cell(17, 491.13, -11.11, 0),
+        cell(17, 513.91, -16.27, 0), cell(18, 300.96, 31.91, 0),
+        cell(18, 310.68, 29.71, 0), cell(18, 327.78, 25.84, 0),
+        cell(18, 338.94, 23.31, 0)}},
+      {"Inner product",
+       128,
+       {cell(21, 546.0, 0.0), cell(21, 563.85, -3.26, 0),
+        cell(21, 587.37, -7.58, 0), cell(21, 606.69, -11.11, 0),
+        cell(21, 634.83, -16.27, 0), cell(22, 367.84, 32.64, 0),
+        cell(22, 379.72, 30.45, 0), cell(22, 400.62, 26.62, 0),
+        cell(22, 414.26, 24.12, 0)}},
+      {"State",
+       16,
+       {cell(20, 520.0, 0.0), cell(35, 939.75, -80.72, 15),
+        cell(20, 559.4, -7.58, 0), cell(20, 577.8, -11.11, 0),
+        cell(20, 604.6, -16.27, 0), cell(37, 618.64, -18.96, 14),
+        cell(23, 396.68, 23.65, 0), cell(23, 418.83, 19.45, 0),
+        cell(23, 433.09, 16.71, 0)}},
+  };
+  return rows;
+}
+
+const std::vector<KernelRecord>& table5() {
+  static const std::vector<KernelRecord> rows = {
+      {"2D-FDCT",
+       0,
+       {cell(32, 832.0, 0.0), cell(56, 1503.6, -80.72, 24),
+        cell(38, 1062.86, -7.58, 6), cell(32, 924.48, -11.11, 0),
+        cell(32, 967.36, -16.27, 0), cell(64, 1070.08, -28.61, 24),
+        cell(40, 690.4, 17.01, 0), cell(40, 728.4, 12.45, 0),
+        cell(40, 753.2, 9.47, 0)}},
+      {"SAD",
+       0,
+       {cell(39, 1014.0, 0.0), cell(39, 1047.15, -3.26, 0),
+        cell(39, 1090.83, -7.58, 0), cell(39, 1126.7, -11.11, 0),
+        cell(39, 1178.97, -16.27, 0), cell(39, 652.08, 35.7, 0),
+        cell(39, 673.14, 33.61, 0), cell(39, 710.19, 29.96, 0),
+        cell(39, 734.37, 27.57, 0)}},
+      {"MVM",
+       64,
+       {cell(19, 494.0, 0.0), cell(19, 510.15, -3.26, 0),
+        cell(19, 531.43, -7.58, 0), cell(19, 548.91, -11.11, 0),
+        cell(19, 574.37, -16.27, 0), cell(20, 334.4, 32.31, 0),
+        cell(20, 345.2, 30.12, 0), cell(20, 364.2, 26.27, 0),
+        cell(20, 376.6, 23.76, 0)}},
+      {"FFT",
+       32,
+       {cell(23, 598.0, 0.0), cell(37, 993.45, -66.12, 14),
+        cell(23, 643.31, -7.58, 0), cell(23, 664.47, -11.11, 0),
+        cell(23, 695.29, -16.27, 0), cell(40, 668.8, -11.83, 13),
+        cell(27, 466.02, 22.07, 0), cell(27, 491.67, 17.78, 0),
+        cell(27, 508.41, 14.98, 0)}},
+  };
+  return rows;
+}
+
+const KernelRecord& kernel_record(const std::string& kernel) {
+  for (const KernelRecord& r : table4())
+    if (r.kernel == kernel) return r;
+  for (const KernelRecord& r : table5())
+    if (r.kernel == kernel) return r;
+  throw NotFoundError("no Table 4/5 record for kernel '" + kernel + "'");
+}
+
+const std::vector<KernelInfo>& table3() {
+  static const std::vector<KernelInfo> rows = {
+      {"Hydro", "mult, add", 6},
+      {"ICCG", "mult, sub", 4},
+      {"Tri-diagonal", "mult, sub", 4},
+      {"Inner product", "mult, add", 8},
+      {"State", "mult, add", 7},
+      {"2D-FDCT", "mult, shift, add, sub", 16},
+      {"SAD", "abs, add", 0},
+      {"MVM", "mult, add", 8},
+      {"FFT", "add, sub, mult", 8},
+  };
+  return rows;
+}
+
+}  // namespace rsp::synth::paper

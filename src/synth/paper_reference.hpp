@@ -1,0 +1,66 @@
+// The numbers the paper actually reports, for side-by-side comparison in
+// benches and for calibration tests. Taken verbatim from Tables 1, 2, 4, 5
+// of Kim et al., DATE 2005.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rsp::synth::paper {
+
+/// Table 1 row.
+struct ComponentRow {
+  std::string component;
+  int area_slices;
+  double area_ratio_percent;
+  double delay_ns;
+  double delay_ratio_percent;
+};
+const std::vector<ComponentRow>& table1();
+
+/// Table 2 row.
+struct SynthesisRow {
+  std::string arch;          // "Base", "RS#1", ..., "RSP#4"
+  double pe_area;            // slices
+  double switch_area;        // slices (0 for base)
+  double array_area;         // slices
+  double area_reduction;     // %
+  double pe_delay;           // ns
+  double switch_delay;       // ns
+  double clock;              // ns
+  double delay_reduction;    // %
+};
+const std::vector<SynthesisRow>& table2();
+/// Row by architecture name; throws NotFoundError for unknown names.
+const SynthesisRow& table2_row(const std::string& arch);
+
+/// Tables 4 and 5: one (kernel, architecture) performance cell.
+struct PerformanceCell {
+  int cycles;
+  double execution_time_ns;
+  double delay_reduction_percent;
+  std::optional<int> stalls;  // nullopt for the base architecture
+};
+
+/// Kernel evaluation record: cells in suite order
+/// [Base, RS#1..RS#4, RSP#1..RSP#4].
+struct KernelRecord {
+  std::string kernel;         // canonical kernel name
+  long iterations;            // paper's iteration count annotation (0 = n/a)
+  std::vector<PerformanceCell> cells;
+};
+const std::vector<KernelRecord>& table4();  // Livermore kernels
+const std::vector<KernelRecord>& table5();  // DSP kernels
+/// Lookup across both tables by kernel name.
+const KernelRecord& kernel_record(const std::string& kernel);
+
+/// Table 3: kernel op sets and multiplier pressure.
+struct KernelInfo {
+  std::string kernel;
+  std::string op_set;   // "mult, add" etc.
+  int max_mults_per_cycle;
+};
+const std::vector<KernelInfo>& table3();
+
+}  // namespace rsp::synth::paper

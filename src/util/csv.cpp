@@ -1,0 +1,56 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace rsp::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty())
+    throw InvalidArgumentError("CsvWriter requires at least one column");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw InvalidArgumentError("CSV row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::render() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(cells[i]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << render();
+  if (!out) throw Error("failed writing: " + path);
+}
+
+}  // namespace rsp::util

@@ -1,0 +1,66 @@
+// Error-handling primitives shared by every rsp library.
+//
+// The libraries throw `rsp::Error` for contract violations that a caller can
+// recover from (malformed graphs, infeasible architecture parameters, ...).
+// Internal invariants use RSP_ASSERT, which throws `rsp::InternalError` so a
+// test harness can observe the failure instead of aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace rsp {
+
+/// Base class of all exceptions thrown by the rsp libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller passed arguments that violate a documented precondition.
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+/// A requested entity (node, kernel, component, ...) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// The combination of inputs is understood but cannot be satisfied
+/// (e.g. a kernel needs more PEs than the array provides).
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant was violated; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+}  // namespace rsp
+
+/// Internal-invariant check. Active in all build types: the schedulers are
+/// control-plane code where correctness dominates the cost of a branch.
+#define RSP_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::rsp::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+    }                                                                 \
+  } while (false)
+
+#define RSP_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::rsp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));   \
+    }                                                                 \
+  } while (false)

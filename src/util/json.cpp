@@ -1,0 +1,130 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace rsp::util {
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject)
+    throw InvalidArgumentError("set() requires a JSON object");
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  fields_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray)
+    throw InvalidArgumentError("push() requires a JSON array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kObject) return fields_.size();
+  if (kind_ == Kind::kArray) return items_.size();
+  return 0;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::render(std::string& out, bool pretty, int depth) const {
+  const std::string indent = pretty ? std::string(2 * (depth + 1), ' ') : "";
+  const std::string closing = pretty ? std::string(2 * depth, ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::abs(number_) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        out += buf;
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.10g", number_);
+        out += buf;
+      }
+      break;
+    }
+    case Kind::kString:
+      out += '"' + escape(string_) + '"';
+      break;
+    case Kind::kObject: {
+      out += '{';
+      out += nl;
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        out += indent + '"' + escape(fields_[i].first) + "\":";
+        if (pretty) out += ' ';
+        fields_[i].second.render(out, pretty, depth + 1);
+        if (i + 1 != fields_.size()) out += ',';
+        out += nl;
+      }
+      out += closing + '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        out += indent;
+        items_[i].render(out, pretty, depth + 1);
+        if (i + 1 != items_.size()) out += ',';
+        out += nl;
+      }
+      out += closing + ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(bool pretty) const {
+  std::string out;
+  render(out, pretty, 0);
+  return out;
+}
+
+}  // namespace rsp::util

@@ -1,0 +1,63 @@
+// Minimal JSON value/writer (objects, arrays, strings, numbers, bools).
+// Used to export evaluation and exploration reports machine-readably; no
+// parsing, no external dependencies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rsp::util {
+
+class Json {
+ public:
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Json(double d) : kind_(Kind::kNumber), number_(d) {}
+  Json(int v) : kind_(Kind::kNumber), number_(v) {}
+  Json(std::int64_t v)
+      : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object field setter (creates/overwrites); returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Array append.
+  Json& push(Json value);
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  std::size_t size() const;
+
+  /// Compact rendering (no whitespace) or pretty with 2-space indent.
+  std::string dump(bool pretty = false) const;
+
+  /// Escapes a string for embedding in JSON (without quotes).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  void render(std::string& out, bool pretty, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> fields_;  // object, ordered
+  std::vector<Json> items_;                           // array
+};
+
+}  // namespace rsp::util

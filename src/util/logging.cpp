@@ -1,0 +1,61 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace rsp::util {
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_threshold = LogLevel::kWarning;
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::cerr << "[rsp:" << to_string(level) << "] " << message << '\n';
+}
+
+LogSink& sink_storage() {
+  static LogSink sink = default_sink;
+  return sink;
+}
+
+}  // namespace
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogSink set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  LogSink previous = sink_storage();
+  sink_storage() = std::move(sink);
+  return previous;
+}
+
+void set_log_threshold(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_threshold = level;
+}
+
+LogLevel log_threshold() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_threshold;
+}
+
+void log(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (static_cast<int>(level) < static_cast<int>(g_threshold)) return;
+  if (sink_storage()) sink_storage()(level, message);
+}
+
+}  // namespace rsp::util

@@ -1,0 +1,69 @@
+// Deterministic RNG (splitmix64 + xoshiro256**) so tests, benches and the
+// workload generators reproduce bit-identical streams across platforms —
+// std::mt19937 distributions are not portable across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace rsp::util {
+
+/// Deterministic 64-bit generator; same seed → same stream everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    auto rotl = [](std::uint64_t v, int k) {
+      return (v << k) | (v >> (64 - k));
+    };
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    RSP_ASSERT_MSG(lo <= hi, "uniform() requires lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return lo + static_cast<std::int64_t>(v % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform01() < p; }
+
+ private:
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace rsp::util

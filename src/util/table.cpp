@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace rsp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty())
+    throw InvalidArgumentError("Table requires at least one column");
+  align_.assign(header_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw InvalidArgumentError("row arity " + std::to_string(cells.size()) +
+                               " does not match header arity " +
+                               std::to_string(header_.size()));
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void Table::add_separator() { rows_.push_back(Row{true, {}}); }
+
+void Table::set_align(std::size_t column, Align align) {
+  if (column >= align_.size())
+    throw InvalidArgumentError("column out of range");
+  align_[column] = align;
+}
+
+void Table::set_title(std::string title) { title_ = std::move(title); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c)
+      width[c] = std::max(width[c], row.cells[c].size());
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string padded = align_[c] == Align::kLeft
+                                     ? pad_right(cells[c], width[c])
+                                     : pad_left(cells[c], width[c]);
+      s += " " + padded + " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  os << rule() << line(header_) << rule();
+  for (const Row& row : rows_) {
+    if (row.separator)
+      os << rule();
+    else
+      os << line(row.cells);
+  }
+  os << rule();
+  return os.str();
+}
+
+}  // namespace rsp::util

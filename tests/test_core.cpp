@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "core/estimate.hpp"
+#include "core/evaluator.hpp"
+#include "kernels/registry.hpp"
+#include "sched/mapper.hpp"
+#include "synth/paper_reference.hpp"
+#include "util/error.hpp"
+
+namespace rsp::core {
+namespace {
+
+sched::PlacedProgram place(const kernels::Workload& w) {
+  sched::LoopPipeliner mapper(w.array);
+  return mapper.map(w.kernel, w.hints, w.reduction);
+}
+
+// ---------------------------------------------------------------- evaluator
+TEST(Evaluator, EtIsCyclesTimesClock) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("ICCG");
+  const sched::PlacedProgram p = place(w);
+  const EvalResult base = ev.evaluate(p, arch::base_architecture());
+  EXPECT_DOUBLE_EQ(base.execution_time_ns, base.cycles * 26.0);
+  EXPECT_EQ(base.stalls, 0);
+  EXPECT_EQ(base.delay_reduction_percent, 0.0);
+}
+
+TEST(Evaluator, DelayReductionAgainstBase) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("SAD");
+  const sched::PlacedProgram p = place(w);
+  const auto rows = ev.evaluate_suite(p, arch::standard_suite());
+  ASSERT_EQ(rows.size(), 9u);
+  // SAD: cycle counts identical everywhere (no mults), so DR equals the
+  // clock ratio; RSP#1 must land on the paper's 35.7 % headline.
+  for (const auto& r : rows) EXPECT_EQ(r.cycles, rows[0].cycles);
+  EXPECT_NEAR(rows[5].delay_reduction_percent, 35.7, 0.2);
+  EXPECT_NEAR(rows[8].delay_reduction_percent, 27.57, 0.2);
+  // RS rows are slowdowns.
+  for (int i = 1; i <= 4; ++i)
+    EXPECT_LT(rows[static_cast<std::size_t>(i)].delay_reduction_percent, 0.0);
+}
+
+TEST(Evaluator, SuiteRequiresArchitectures) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("SAD");
+  EXPECT_THROW(ev.evaluate_suite(place(w), {}), InvalidArgumentError);
+}
+
+TEST(Evaluator, RspNoStallCyclesDominateBase) {
+  // RSP cycles = base + RP stretching, never less.
+  const RspEvaluator ev;
+  for (const auto& w : kernels::paper_suite()) {
+    const sched::PlacedProgram p = place(w);
+    const EvalResult base = ev.evaluate(p, arch::base_architecture());
+    const EvalResult rsp2 = ev.evaluate(p, arch::rsp_architecture(2),
+                                        base.execution_time_ns);
+    EXPECT_GE(rsp2.cycles, base.cycles) << w.name;
+  }
+}
+
+// ----------------------------------------------------------------- stalls
+TEST(Evaluator, StallShapeMatchesPaper) {
+  // The qualitative stall pattern of Tables 4/5:
+  //   RS#1 stalls multiplier-hungry kernels; RS#3/RS#4 never stall;
+  //   RSP#2 never stalls; SAD never stalls anywhere.
+  const RspEvaluator ev;
+  const std::vector<std::string> hungry = {"State", "2D-FDCT", "FFT"};
+  for (const auto& name : hungry) {
+    const auto w = kernels::find_workload(name);
+    const sched::PlacedProgram p = place(w);
+    EXPECT_GT(ev.evaluate(p, arch::rs_architecture(1)).stalls, 0) << name;
+  }
+  for (const auto& w : kernels::paper_suite()) {
+    const sched::PlacedProgram p = place(w);
+    EXPECT_EQ(ev.evaluate(p, arch::rs_architecture(3)).stalls, 0) << w.name;
+    EXPECT_EQ(ev.evaluate(p, arch::rs_architecture(4)).stalls, 0) << w.name;
+    EXPECT_EQ(ev.evaluate(p, arch::rsp_architecture(2)).stalls, 0) << w.name;
+  }
+  const auto sad = kernels::find_workload("SAD");
+  const sched::PlacedProgram sp = place(sad);
+  for (const auto& a : arch::standard_suite())
+    EXPECT_EQ(ev.evaluate(sp, a).stalls, 0);
+}
+
+TEST(Evaluator, BestArchitectureIsRsp1OrRsp2) {
+  // Paper §5.3: "the best performance for individual kernels can be
+  // obtained with RSP#1 or RSP#2".
+  const RspEvaluator ev;
+  for (const auto& w : kernels::paper_suite()) {
+    const sched::PlacedProgram p = place(w);
+    const auto rows = ev.evaluate_suite(p, arch::standard_suite());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < rows.size(); ++i)
+      if (rows[i].execution_time_ns < rows[best].execution_time_ns) best = i;
+    EXPECT_TRUE(rows[best].arch_name == "RSP#1" ||
+                rows[best].arch_name == "RSP#2")
+        << w.name << " best on " << rows[best].arch_name;
+  }
+}
+
+// --------------------------------------------------------------- estimate
+TEST(Estimate, RequiresBaseContext) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("MVM");
+  const sched::PlacedProgram p = place(w);
+  const auto rs_ctx = ev.scheduler().schedule(p, arch::rs_architecture(1));
+  EXPECT_THROW(estimate_performance(rs_ctx, arch::rs_architecture(2)),
+               InvalidArgumentError);
+}
+
+TEST(Estimate, BaseTargetHasNoOverheads) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("MVM");
+  const sched::PlacedProgram p = place(w);
+  const auto base_ctx = ev.scheduler().schedule(p, arch::base_architecture());
+  const PerfEstimate est =
+      estimate_performance(base_ctx, arch::base_architecture());
+  EXPECT_EQ(est.rs_stall_bound, 0);
+  EXPECT_EQ(est.rp_overhead, 0);
+  EXPECT_EQ(est.estimated_cycles(), base_ctx.length());
+}
+
+TEST(Estimate, IsOptimisticUpperBoundOnPerformance) {
+  // Paper §4: the quick estimate never *overstates* the cost — estimated
+  // cycles <= exactly rescheduled cycles for every kernel × architecture.
+  const RspEvaluator ev;
+  for (const auto& w : kernels::paper_suite()) {
+    const sched::PlacedProgram p = place(w);
+    const auto base_ctx =
+        ev.scheduler().schedule(p, arch::base_architecture());
+    for (const auto& a : arch::standard_suite()) {
+      if (!a.shares_multiplier()) continue;
+      const PerfEstimate est = estimate_performance(base_ctx, a);
+      const int exact =
+          ev.scheduler().schedule(p, a).length();
+      EXPECT_LE(est.estimated_cycles(), exact)
+          << w.name << " on " << a.name;
+    }
+  }
+}
+
+TEST(Estimate, LongestMultChainOnKnownKernels) {
+  const RspEvaluator ev;
+  // Hydro: r*z + t*z feed y*(...): chain of 2 dependent multiplications.
+  const auto hydro = kernels::find_workload("Hydro");
+  const auto ctx = ev.scheduler().schedule(place(hydro),
+                                           arch::base_architecture());
+  EXPECT_EQ(longest_mult_chain(ctx), 2);
+  // SAD has none.
+  const auto sad = kernels::find_workload("SAD");
+  EXPECT_EQ(longest_mult_chain(ev.scheduler().schedule(
+                place(sad), arch::base_architecture())),
+            0);
+}
+
+TEST(Estimate, RsStallBoundGrowsWhenUnitsShrink) {
+  const RspEvaluator ev;
+  const auto w = kernels::find_workload("2D-FDCT");
+  const auto base_ctx =
+      ev.scheduler().schedule(place(w), arch::base_architecture());
+  const PerfEstimate rs1 =
+      estimate_performance(base_ctx, arch::rs_architecture(1));
+  const PerfEstimate rs4 =
+      estimate_performance(base_ctx, arch::rs_architecture(4));
+  EXPECT_GE(rs1.rs_stall_bound, rs4.rs_stall_bound);
+}
+
+}  // namespace
+}  // namespace rsp::core

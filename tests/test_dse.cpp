@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+#include "dse/pareto.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+#include "util/error.hpp"
+
+namespace rsp::dse {
+namespace {
+
+// ------------------------------------------------------------------ pareto
+struct Pt {
+  double a, b;
+};
+
+TEST(Pareto, ExtractsNonDominatedSet) {
+  const std::vector<Pt> pts = {{1, 5}, {2, 2}, {3, 4}, {5, 1}, {4, 4}};
+  const auto front = pareto_front<Pt>(
+      pts, [](const Pt& p) { return p.a; }, [](const Pt& p) { return p.b; });
+  // {3,4} dominated by {2,2}; {4,4} dominated by {2,2}.
+  EXPECT_EQ(front, (std::vector<std::size_t>{0, 1, 3}));
+}
+
+TEST(Pareto, DuplicatesKeepFirst) {
+  const std::vector<Pt> pts = {{1, 1}, {1, 1}};
+  const auto front = pareto_front<Pt>(
+      pts, [](const Pt& p) { return p.a; }, [](const Pt& p) { return p.b; });
+  EXPECT_EQ(front, std::vector<std::size_t>{0});
+}
+
+TEST(Pareto, SinglePointSurvives) {
+  const std::vector<Pt> pts = {{7, 7}};
+  const auto front = pareto_front<Pt>(
+      pts, [](const Pt& p) { return p.a; }, [](const Pt& p) { return p.b; });
+  EXPECT_EQ(front.size(), 1u);
+}
+
+// ---------------------------------------------------------------- explorer
+TEST(Explorer, LabelsAndValidation) {
+  EXPECT_EQ((DesignPoint{0, 0, 1}).label(), "Base");
+  EXPECT_EQ((DesignPoint{2, 0, 1}).label(), "2r");
+  EXPECT_EQ((DesignPoint{2, 1, 2}).label(), "2r+1c/p2");
+  ExplorerConfig bad;
+  bad.max_stages = 0;
+  EXPECT_THROW(Explorer(arch::ArraySpec{}, bad), InvalidArgumentError);
+}
+
+class ExplorerFlow : public ::testing::Test {
+ protected:
+  static const ExplorationResult& result() {
+    // Exploring the full DSP domain once is enough for all assertions.
+    static const ExplorationResult r = [] {
+      ExplorerConfig config;
+      config.max_units_per_row = 2;
+      config.max_units_per_col = 1;
+      config.max_stages = 2;
+      Explorer explorer(arch::ArraySpec{}, config);
+      return explorer.explore(kernels::dsp_suite());
+    }();
+    return r;
+  }
+};
+
+TEST_F(ExplorerFlow, EnumeratesExpectedPointCount) {
+  // (upr 0..2) × (upc 0..1) × (stages 1..2) minus the skipped
+  // base-with-pipelining point = 12 - 1 = 11.
+  EXPECT_EQ(result().candidates.size(), 11u);
+}
+
+TEST_F(ExplorerFlow, BaseIsACandidateAndNotRejected) {
+  const auto& cands = result().candidates;
+  const auto base = std::find_if(
+      cands.begin(), cands.end(),
+      [](const Candidate& c) { return c.point.is_base(); });
+  ASSERT_NE(base, cands.end());
+  EXPECT_FALSE(base->rejected);
+}
+
+TEST_F(ExplorerFlow, SharedDesignsAreCheaperThanBase) {
+  for (const Candidate& c : result().candidates) {
+    if (c.point.is_base()) continue;
+    EXPECT_LT(c.area_synthesized, result().base_area) << c.point.label();
+  }
+}
+
+TEST_F(ExplorerFlow, ParetoPointsAreEvaluatedExactly) {
+  int pareto = 0;
+  for (const Candidate& c : result().candidates) {
+    if (c.pareto) {
+      ++pareto;
+      EXPECT_TRUE(c.evaluated);
+      EXPECT_GT(c.exact_cycles, 0);
+      // The estimate is an optimistic bound (paper §4).
+      EXPECT_LE(c.estimated_cycles, c.exact_cycles) << c.point.label();
+    } else {
+      EXPECT_FALSE(c.evaluated);
+    }
+  }
+  EXPECT_GE(pareto, 2);
+}
+
+TEST_F(ExplorerFlow, ParetoSetIsEpsilonNonDominated) {
+  // With the default ε = 0.05 relaxation, no survivor may be beaten by
+  // another survivor by more than 5% in BOTH objectives.
+  const auto points = result().pareto_points();
+  for (const auto* x : points)
+    for (const auto* y : points) {
+      if (x == y) continue;
+      const bool strongly_dominates =
+          y->area_estimate * 1.05 <= x->area_estimate &&
+          y->estimated_time_ns * 1.05 <= x->estimated_time_ns;
+      EXPECT_FALSE(strongly_dominates);
+    }
+}
+
+TEST(Pareto, EpsilonFrontIsSupersetOfStrictFront) {
+  const std::vector<Pt> pts = {{1, 5}, {2, 2}, {3, 4}, {5, 1}, {4, 4}};
+  auto a = [](const Pt& p) { return p.a; };
+  auto b = [](const Pt& p) { return p.b; };
+  const auto strict = pareto_front<Pt>(pts, a, b);
+  const auto relaxed = epsilon_pareto_front<Pt>(pts, a, b, 0.6);
+  for (std::size_t i : strict)
+    EXPECT_NE(std::find(relaxed.begin(), relaxed.end(), i), relaxed.end());
+  EXPECT_GE(relaxed.size(), strict.size());
+}
+
+TEST_F(ExplorerFlow, SelectsAPipelinedSharedDesign)
+{
+  // On the DSP domain the optimum under area×time must share AND pipeline
+  // (that is the paper's whole point).
+  const Candidate& best = result().best();
+  EXPECT_TRUE(best.architecture.shares_multiplier());
+  EXPECT_TRUE(best.architecture.pipelines_multiplier());
+  EXPECT_LT(best.exact_time_ns * best.area_synthesized,
+            result().base_time_ns * result().base_area);
+}
+
+TEST(Explorer, ObjectiveMinAreaPicksSmallestEvaluated) {
+  ExplorerConfig config;
+  config.max_units_per_row = 2;
+  config.max_units_per_col = 0;
+  config.max_stages = 2;
+  config.objective = Objective::kMinArea;
+  Explorer explorer(arch::ArraySpec{}, config);
+  const auto result = explorer.explore({kernels::find_workload("MVM")});
+  const Candidate& best = result.best();
+  for (const Candidate& c : result.candidates)
+    if (c.evaluated)
+      EXPECT_LE(best.area_synthesized, c.area_synthesized);
+}
+
+TEST(Explorer, RejectsTooSlowDesigns) {
+  ExplorerConfig config;
+  config.max_units_per_row = 1;
+  config.max_units_per_col = 0;
+  config.max_stages = 1;
+  config.max_time_ratio = 1.0;  // nothing slower than base allowed
+  Explorer explorer(arch::ArraySpec{}, config);
+  // 2D-FDCT on RS#1-style sharing stalls heavily → estimated time exceeds
+  // base → rejected.
+  const auto result = explorer.explore({kernels::find_workload("2D-FDCT")});
+  bool saw_rejection = false;
+  for (const Candidate& c : result.candidates)
+    if (c.rejected) {
+      saw_rejection = true;
+      EXPECT_FALSE(c.reject_reason.empty());
+    }
+  EXPECT_TRUE(saw_rejection);
+}
+
+TEST(Explorer, ThrowsOnEmptyDomainOrWrongGeometry) {
+  Explorer explorer((arch::ArraySpec()));
+  EXPECT_THROW(explorer.explore({}), InvalidArgumentError);
+  auto w = kernels::make_matmul(4);  // 4×4 kernel, 8×8 explorer
+  EXPECT_THROW(explorer.explore({w}), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace rsp::dse

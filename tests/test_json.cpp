@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "arch/presets.hpp"
+#include "core/report_json.hpp"
+#include "kernels/registry.hpp"
+#include "sched/mapper.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace rsp {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(util::Json(true).dump(), "true");
+  EXPECT_EQ(util::Json(42).dump(), "42");
+  EXPECT_EQ(util::Json(2.5).dump(), "2.5");
+  EXPECT_EQ(util::Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(util::Json().dump(), "null");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(util::Json("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(util::Json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
+  util::Json j = util::Json::object();
+  j.set("b", 1).set("a", 2).set("b", 3);
+  EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(Json, ArraysAndNesting) {
+  util::Json arr = util::Json::array();
+  arr.push(1).push("two");
+  util::Json obj = util::Json::object();
+  obj.set("list", std::move(arr));
+  EXPECT_EQ(obj.dump(), "{\"list\":[1,\"two\"]}");
+}
+
+TEST(Json, PrettyPrinting) {
+  util::Json j = util::Json::object();
+  j.set("x", 1);
+  EXPECT_EQ(j.dump(true), "{\n  \"x\": 1\n}");
+}
+
+TEST(Json, TypeErrors) {
+  util::Json scalar(1);
+  EXPECT_THROW(scalar.set("k", 1), InvalidArgumentError);
+  EXPECT_THROW(scalar.push(1), InvalidArgumentError);
+}
+
+TEST(Json, LargeIntegersStayExact) {
+  EXPECT_EQ(util::Json(std::int64_t{55739}).dump(), "55739");
+  EXPECT_EQ(util::Json(std::int64_t{-123456789}).dump(), "-123456789");
+}
+
+TEST(ReportJson, EvaluationExport) {
+  const core::RspEvaluator ev;
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::LoopPipeliner mapper(w.array);
+  const auto rows = ev.evaluate_suite(
+      mapper.map(w.kernel, w.hints, w.reduction), arch::standard_suite());
+  const util::Json j = core::to_json(w.name, rows);
+  const std::string s = j.dump();
+  EXPECT_NE(s.find("\"kernel\":\"SAD\""), std::string::npos);
+  EXPECT_NE(s.find("\"arch\":\"RSP#1\""), std::string::npos);
+  EXPECT_NE(s.find("\"delay_reduction_percent\":35.6"), std::string::npos);
+}
+
+TEST(ReportJson, SynthesisExport) {
+  const synth::SynthesisModel model;
+  const util::Json arr =
+      core::to_json(model.report_suite(arch::standard_suite()));
+  EXPECT_EQ(arr.size(), 9u);
+  const std::string s = arr.dump();
+  EXPECT_NE(s.find("\"arch\":\"Base\""), std::string::npos);
+  EXPECT_NE(s.find("\"clock_ns\":16.72"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.hpp"
+#include "ir/unroll.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+#include "synth/paper_reference.hpp"
+#include "util/error.hpp"
+
+namespace rsp::kernels {
+namespace {
+
+// ------------------------------------------------------------------ suite
+TEST(Registry, PaperSuiteCompleteAndOrdered) {
+  const auto suite = paper_suite();
+  ASSERT_EQ(suite.size(), 9u);
+  const char* expected[] = {"Hydro",   "ICCG", "Tri-diagonal",
+                            "Inner product", "State", "2D-FDCT",
+                            "SAD",     "MVM",  "FFT"};
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_EQ(suite[i].name, expected[i]);
+}
+
+TEST(Registry, FindByNameAndUnknown) {
+  EXPECT_EQ(find_workload("SAD").name, "SAD");
+  EXPECT_THROW(find_workload("H264"), NotFoundError);
+}
+
+TEST(Registry, IterationCountsMatchPaperAnnotations) {
+  EXPECT_EQ(find_workload("Hydro").kernel.trip_count(), 32);
+  EXPECT_EQ(find_workload("ICCG").kernel.trip_count(), 32);
+  EXPECT_EQ(find_workload("Tri-diagonal").kernel.trip_count(), 64);
+  EXPECT_EQ(find_workload("Inner product").kernel.trip_count(), 128);
+  EXPECT_EQ(find_workload("State").kernel.trip_count(), 16);
+  EXPECT_EQ(find_workload("MVM").kernel.trip_count(), 64);
+  EXPECT_EQ(find_workload("FFT").kernel.trip_count(), 32);
+}
+
+// Table 3 "operation set" column.
+TEST(Registry, OpSetsMatchPaperTable3) {
+  EXPECT_EQ(find_workload("Hydro").kernel.op_set_string(), "mult, add");
+  EXPECT_EQ(find_workload("ICCG").kernel.op_set_string(), "mult, sub");
+  EXPECT_EQ(find_workload("Tri-diagonal").kernel.op_set_string(),
+            "mult, sub");
+  EXPECT_EQ(find_workload("Inner product").kernel.op_set_string(),
+            "mult, add");
+  EXPECT_EQ(find_workload("State").kernel.op_set_string(), "mult, add");
+  EXPECT_EQ(find_workload("2D-FDCT").kernel.op_set_string(),
+            "mult, add, sub, shift");
+  EXPECT_EQ(find_workload("FFT").kernel.op_set_string(), "mult, add, sub");
+  // SAD must not multiply at all.
+  EXPECT_EQ(find_workload("SAD").kernel.mults_per_iteration(), 0);
+}
+
+TEST(Registry, BodiesHaveNoDeadValues) {
+  for (const auto& w : paper_suite()) {
+    for (ir::NodeId dead : w.kernel.body().dead_value_nodes()) {
+      // A reduction source is consumed by the mapper's epilogue, not by the
+      // body itself; anything else dangling is a kernel-definition bug.
+      EXPECT_EQ(dead, w.reduction.source)
+          << w.name << " has dead value node " << dead;
+    }
+  }
+}
+
+TEST(Registry, SetupProvidesEveryArrayTheBodyTouches) {
+  for (const auto& w : paper_suite()) {
+    ir::Memory m;
+    w.setup(m);
+    for (const ir::Node& n : w.kernel.body().nodes())
+      if (n.mem) EXPECT_TRUE(m.has(n.mem->array))
+          << w.name << " touches unallocated array " << n.mem->array;
+  }
+}
+
+TEST(Registry, DeterministicDataIsStable) {
+  const auto a = deterministic_data("tag", 16, -5, 5);
+  const auto b = deterministic_data("tag", 16, -5, 5);
+  EXPECT_EQ(a, b);
+  const auto c = deterministic_data("other", 16, -5, 5);
+  EXPECT_NE(a, c);
+  for (auto v : a) {
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+// ------------------------------------- interpreter vs golden (every kernel)
+class KernelGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(KernelGolden, InterpreterMatchesIndependentReference) {
+  const Workload w = find_workload(GetParam());
+  ir::Memory interp_mem, golden_mem;
+  w.setup(interp_mem);
+  w.setup(golden_mem);
+  const ir::UnrolledGraph u(w.kernel);
+  ir::interpret(u, interp_mem);
+  w.golden(golden_mem);
+
+  if (w.reduction.enabled()) {
+    // The loop part cannot produce the reduced output; compare everything
+    // except the reduction target, which only the golden model wrote.
+    for (const std::string& name : golden_mem.names()) {
+      if (name == w.reduction.array) continue;
+      EXPECT_EQ(interp_mem.array(name), golden_mem.array(name))
+          << w.name << " array " << name;
+    }
+  } else {
+    EXPECT_TRUE(interp_mem == golden_mem) << w.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelGolden,
+    ::testing::Values("Hydro", "ICCG", "Tri-diagonal", "Inner product",
+                      "State", "2D-FDCT", "SAD", "MVM", "FFT"),
+    [](const auto& info) {
+      std::string n = info.param;
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// ---------------------------------------------------------------- matmul
+TEST(Matmul, GoldenMatchesInterpreter) {
+  const Workload w = make_matmul(4, 3);
+  ir::Memory a, b;
+  w.setup(a);
+  w.setup(b);
+  ir::interpret(ir::UnrolledGraph(w.kernel), a);
+  w.golden(b);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(Matmul, OrderValidation) {
+  EXPECT_THROW(make_matmul(1), InvalidArgumentError);
+  EXPECT_THROW(make_matmul(17), InvalidArgumentError);
+  EXPECT_EQ(make_matmul(8).kernel.trip_count(), 64);
+  EXPECT_EQ(make_matmul(8).array.rows, 8);
+}
+
+TEST(Matmul, BodyHasNPlusOneMults) {
+  // N products + the C scaling mult of eq. (1).
+  EXPECT_EQ(make_matmul(4).kernel.mults_per_iteration(), 5);
+}
+
+// --------------------------------------------- accumulator chain distances
+TEST(Registry, ReductionKernelsKeepChainsOnOnePe) {
+  // Loop-carried accumulator distance must equal lanes × columns so the
+  // chain revisits the same PE (mapping-hint invariant).
+  for (const char* name : {"Inner product", "SAD"}) {
+    const Workload w = find_workload(name);
+    const ir::Node& acc = w.kernel.body().node(w.reduction.source);
+    ASSERT_FALSE(acc.carried.empty()) << name;
+    EXPECT_EQ(acc.carried[0].distance, w.hints.lanes * w.hints.columns)
+        << name;
+    EXPECT_FALSE(w.hints.cycle_row_bands) << name;
+  }
+}
+
+}  // namespace
+}  // namespace rsp::kernels

@@ -1,0 +1,214 @@
+// The legality checker must catch every class of violation; these tests
+// build small illegal contexts by hand and check the precise diagnosis.
+#include <gtest/gtest.h>
+
+#include "sched/legality.hpp"
+#include "util/error.hpp"
+
+namespace rsp::sched {
+namespace {
+
+ScheduledOp make_op(ir::OpKind kind, arch::PeCoord pe, int cycle,
+                    int latency = 1) {
+  ScheduledOp op;
+  op.kind = kind;
+  op.pe = pe;
+  op.cycle = cycle;
+  op.latency = latency;
+  if (ir::is_memory_op(kind)) {
+    op.array = "x";
+    op.address = 0;
+  }
+  if (ir::op_arity(kind) >= 1) op.operands.resize(ir::op_arity(kind));
+  return op;
+}
+
+TEST(Legality, AcceptsMinimalLegalContext) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kLoad, {0, 0}, 0));
+  auto add = make_op(ir::OpKind::kAbs, {0, 0}, 1);
+  add.operands[0] = ProgOperand{0, 0};
+  ops.push_back(add);
+  const ConfigurationContext ctx(a, ops);
+  EXPECT_TRUE(check_legality(ctx).ok);
+  EXPECT_NO_THROW(require_legal(ctx));
+}
+
+TEST(Legality, CatchesUseBeforeReady) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kLoad, {0, 0}, 3));
+  auto abs = make_op(ir::OpKind::kAbs, {0, 1}, 3);  // same cycle as producer
+  abs.operands[0] = ProgOperand{0, 0};
+  ops.push_back(abs);
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("before its result"),
+            std::string::npos);
+  EXPECT_THROW(require_legal(ConfigurationContext(a, ops)), Error);
+}
+
+TEST(Legality, CatchesPeDoubleBooking) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kConst, {2, 2}, 5));
+  ops.push_back(make_op(ir::OpKind::kConst, {2, 2}, 5));
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("share a PE"), std::string::npos);
+}
+
+TEST(Legality, CatchesPipelinedPeOverlap) {
+  // On RSP, a mult occupies its PE for both stages; an op in the second
+  // stage cycle collides.
+  const arch::Architecture a = arch::rsp_architecture(1);
+  std::vector<ScheduledOp> ops;
+  auto mult = make_op(ir::OpKind::kMult, {0, 0}, 0, 2);
+  mult.operands = {ProgOperand{}, ProgOperand{}};
+  mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 0, 0};
+  ops.push_back(mult);
+  ops.push_back(make_op(ir::OpKind::kConst, {0, 0}, 1));
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("share a PE"), std::string::npos);
+}
+
+TEST(Legality, CatchesReadBusOversubscription) {
+  const arch::Architecture a = arch::base_architecture();  // 2 read buses
+  std::vector<ScheduledOp> ops;
+  for (int c = 0; c < 3; ++c)
+    ops.push_back(make_op(ir::OpKind::kLoad, {4, c}, 7));
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("loads"), std::string::npos);
+}
+
+TEST(Legality, CatchesWriteBusOversubscription) {
+  const arch::Architecture a = arch::base_architecture();  // 1 write bus
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kConst, {1, 0}, 0));
+  ops.push_back(make_op(ir::OpKind::kConst, {1, 1}, 0));
+  for (int c = 0; c < 2; ++c) {
+    auto st = make_op(ir::OpKind::kStore, {1, c}, 2);
+    st.operands[0] = ProgOperand{c, 0};
+    ops.push_back(st);
+  }
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("stores"), std::string::npos);
+}
+
+TEST(Legality, CatchesMissingUnitOnSharingArchitecture) {
+  const arch::Architecture a = arch::rs_architecture(1);
+  std::vector<ScheduledOp> ops;
+  auto mult = make_op(ir::OpKind::kMult, {0, 0}, 0);
+  mult.operands = {ProgOperand{}, ProgOperand{}};
+  ops.push_back(mult);  // no unit assigned
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("without a shared unit"),
+            std::string::npos);
+}
+
+TEST(Legality, CatchesUnreachableUnit) {
+  const arch::Architecture a = arch::rs_architecture(1);  // row pools only
+  std::vector<ScheduledOp> ops;
+  auto mult = make_op(ir::OpKind::kMult, {0, 0}, 0);
+  mult.operands = {ProgOperand{}, ProgOperand{}};
+  mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 5, 0};
+  ops.push_back(mult);  // row 5's unit from a row 0 PE
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("unreachable"), std::string::npos);
+}
+
+TEST(Legality, CatchesUnitDoubleIssue) {
+  const arch::Architecture a = arch::rs_architecture(1);
+  std::vector<ScheduledOp> ops;
+  for (int c = 0; c < 2; ++c) {
+    auto mult = make_op(ir::OpKind::kMult, {0, c}, 0);
+    mult.operands = {ProgOperand{}, ProgOperand{}};
+    mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 0, 0};
+    ops.push_back(mult);
+  }
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("two issues"), std::string::npos);
+}
+
+TEST(Legality, CatchesUnitOnNonSharingArchitecture) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  auto mult = make_op(ir::OpKind::kMult, {0, 0}, 0);
+  mult.operands = {ProgOperand{}, ProgOperand{}};
+  mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 0, 0};
+  ops.push_back(mult);
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("shares nothing"), std::string::npos);
+}
+
+TEST(Legality, CatchesWrongLatency) {
+  const arch::Architecture a = arch::rsp_architecture(1);
+  std::vector<ScheduledOp> ops;
+  auto mult = make_op(ir::OpKind::kMult, {0, 0}, 0, /*latency=*/1);  // must be 2
+  mult.operands = {ProgOperand{}, ProgOperand{}};
+  mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 0, 0};
+  ops.push_back(mult);
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("latency"), std::string::npos);
+}
+
+TEST(Legality, CatchesUnroutableOperand) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kConst, {0, 0}, 0));
+  auto abs = make_op(ir::OpKind::kAbs, {3, 5}, 2);  // diagonal, >1 hop
+  abs.operands[0] = ProgOperand{0, 0};
+  ops.push_back(abs);
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("route"), std::string::npos);
+}
+
+TEST(Legality, CatchesMemoryOrderingViolation) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kConst, {0, 0}, 0));
+  auto st = make_op(ir::OpKind::kStore, {0, 0}, 2);
+  st.operands[0] = ProgOperand{0, 0};
+  ops.push_back(st);
+  auto ld = make_op(ir::OpKind::kLoad, {0, 1}, 2);  // same cycle as store
+  ld.order_deps = {1};
+  ops.push_back(ld);
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_NE(rep.violations.front().find("memory ordering"),
+            std::string::npos);
+}
+
+TEST(Legality, ContextRejectsNegativeCycleOrLatency) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> bad_cycle = {make_op(ir::OpKind::kConst, {0, 0}, -1)};
+  EXPECT_THROW(ConfigurationContext(a, bad_cycle), InvalidArgumentError);
+  std::vector<ScheduledOp> bad_lat = {
+      make_op(ir::OpKind::kConst, {0, 0}, 0, 0)};
+  EXPECT_THROW(ConfigurationContext(a, bad_lat), InvalidArgumentError);
+}
+
+TEST(Legality, ReportAggregatesMultipleViolations) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<ScheduledOp> ops;
+  ops.push_back(make_op(ir::OpKind::kConst, {0, 0}, 0));
+  ops.push_back(make_op(ir::OpKind::kConst, {0, 0}, 0));  // PE clash
+  for (int c = 0; c < 3; ++c)
+    ops.push_back(make_op(ir::OpKind::kLoad, {1, c}, 0));  // bus clash
+  const LegalityReport rep = check_legality(ConfigurationContext(a, ops));
+  ASSERT_FALSE(rep.ok);
+  EXPECT_GE(rep.violations.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rsp::sched

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+#include "sched/mapper.hpp"
+#include "util/error.hpp"
+
+namespace rsp::sched {
+namespace {
+
+ir::LoopKernel tiny_kernel(std::int64_t trips) {
+  ir::GraphBuilder b;
+  auto x = b.load("x", [](std::int64_t k) { return k; });
+  auto y = b.load("y", [](std::int64_t k) { return k; });
+  auto m = b.mult(x, y);
+  b.store("z", [](std::int64_t k) { return k; }, m);
+  return ir::LoopKernel("tiny", b.take(), trips);
+}
+
+TEST(MappingHints, Validation) {
+  MappingHints h;
+  h.lanes = 0;
+  EXPECT_THROW(h.validate(), InvalidArgumentError);
+  h = MappingHints{};
+  h.stagger = -1;
+  EXPECT_THROW(h.validate(), InvalidArgumentError);
+  h = MappingHints{};
+  h.columns = 0;
+  EXPECT_THROW(h.validate(), InvalidArgumentError);
+  EXPECT_NO_THROW(MappingHints{}.validate());
+}
+
+TEST(Mapper, PlacesWavesColumnRoundRobin) {
+  const arch::ArraySpec array;
+  LoopPipeliner mapper(array);
+  MappingHints hints;
+  hints.lanes = 4;
+  hints.columns = 3;
+  const PlacedProgram p = mapper.map(tiny_kernel(24), hints);
+  // iteration 0 → wave 0 lane 0 → PE(0,0); iteration 5 → wave 1 lane 1 →
+  // PE(1,1); iteration 13 → wave 3 lane 1 → column 3 % 3 = 0.
+  const ir::UnrolledGraph u(tiny_kernel(24));
+  auto pe_of = [&](std::int64_t iter) {
+    return p.op(p.index_of_source(u.id_of(0, iter))).pe;
+  };
+  EXPECT_EQ(pe_of(0), (arch::PeCoord{0, 0}));
+  EXPECT_EQ(pe_of(5), (arch::PeCoord{1, 1}));
+  EXPECT_EQ(pe_of(13), (arch::PeCoord{1, 0}));
+}
+
+TEST(Mapper, RowBandsCycleWhenEnabled) {
+  const arch::ArraySpec array;  // 8 rows
+  LoopPipeliner mapper(array);
+  MappingHints hints;
+  hints.lanes = 2;
+  hints.columns = 2;
+  hints.cycle_row_bands = true;  // 4 bands of 2 rows
+  const PlacedProgram p = mapper.map(tiny_kernel(16), hints);
+  const ir::UnrolledGraph u(tiny_kernel(16));
+  auto pe_of = [&](std::int64_t iter) {
+    return p.op(p.index_of_source(u.id_of(0, iter))).pe;
+  };
+  EXPECT_EQ(pe_of(0).row, 0);   // wave 0 band 0
+  EXPECT_EQ(pe_of(4).row, 2);   // wave 2 band 1
+  EXPECT_EQ(pe_of(8).row, 4);   // wave 4 band 2
+  EXPECT_EQ(pe_of(12).row, 6);  // wave 6 band 3
+}
+
+TEST(Mapper, NotBeforeEncodesNominalLockstepSlot) {
+  const arch::ArraySpec array;
+  LoopPipeliner mapper(array);
+  MappingHints hints;
+  hints.lanes = 8;
+  hints.stagger = 3;
+  const PlacedProgram p = mapper.map(tiny_kernel(32), hints);
+  const ir::UnrolledGraph u(tiny_kernel(32));
+  // iteration 17 → wave 2: not_before = 2·3 + slot.
+  for (ir::NodeId slot = 0; slot < 4; ++slot)
+    EXPECT_EQ(p.op(p.index_of_source(u.id_of(slot, 17))).not_before, 6 + slot);
+}
+
+TEST(Mapper, PrioritiesStrictlyIncreaseAlongEdges) {
+  for (const auto& w : kernels::paper_suite()) {
+    LoopPipeliner mapper(w.array);
+    const PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+    EXPECT_NO_THROW(p.validate()) << w.name;
+  }
+}
+
+TEST(Mapper, EveryUnrolledOpIsPlacedExactlyOnce) {
+  const auto w = kernels::find_workload("ICCG");
+  const ir::UnrolledGraph u(w.kernel);
+  LoopPipeliner mapper(w.array);
+  const PlacedProgram p = mapper.map(w.kernel, u, w.hints, w.reduction);
+  for (ir::OpId id = 0; id < u.size(); ++id) {
+    const ProgIndex idx = p.index_of_source(id);
+    ASSERT_NE(idx, kNoProducer);
+    EXPECT_EQ(p.op(idx).source, id);
+    EXPECT_EQ(p.op(idx).kind, u.op(id).kind);
+  }
+}
+
+TEST(Mapper, InfeasibleHintsRejected) {
+  const arch::ArraySpec array;  // 8×8
+  LoopPipeliner mapper(array);
+  MappingHints too_tall;
+  too_tall.lanes = 9;
+  EXPECT_THROW(mapper.map(tiny_kernel(9), too_tall), InfeasibleError);
+  MappingHints too_wide;
+  too_wide.columns = 9;
+  EXPECT_THROW(mapper.map(tiny_kernel(9), too_wide), InfeasibleError);
+  MappingHints offset;
+  offset.first_row = 4;
+  offset.lanes = 5;
+  EXPECT_THROW(mapper.map(tiny_kernel(5), offset), InfeasibleError);
+}
+
+TEST(Mapper, UnroutableCarriedDependenceDiagnosed) {
+  // Accumulator distance 3 with 2 lanes: iteration 5 (wave 2, lane 1) needs
+  // iteration 2's value (wave 1, lane 0) — different row AND column.
+  ir::GraphBuilder b;
+  auto x = b.load("x", [](std::int64_t k) { return k; });
+  b.accumulate(x, 0, 3);
+  const ir::LoopKernel k("bad-chain", b.take(), 8);
+  LoopPipeliner mapper(arch::ArraySpec{});
+  MappingHints hints;
+  hints.lanes = 2;
+  hints.columns = 4;
+  EXPECT_THROW(mapper.map(k, hints), InvalidArgumentError);
+}
+
+// --------------------------------------------------------------- reduction
+TEST(Mapper, ReductionAllAppendsTreeAndStore) {
+  const auto w = kernels::find_workload("Inner product");
+  LoopPipeliner mapper(w.array);
+  const PlacedProgram with = mapper.map(w.kernel, w.hints, w.reduction);
+  const PlacedProgram without = mapper.map(w.kernel, w.hints, {});
+  // 64 partials → 63 combining adds + 1 store.
+  EXPECT_EQ(with.size(), without.size() + 64);
+  const ProgramOp& last = with.op(with.size() - 1);
+  EXPECT_EQ(last.kind, ir::OpKind::kStore);
+  EXPECT_EQ(last.array, "sum");
+  EXPECT_EQ(last.iter, -1);
+  EXPECT_EQ(last.source, ir::kInvalidOp);
+}
+
+TEST(Mapper, ReductionPerRowProducesOneStorePerRow) {
+  const auto w = kernels::find_workload("MVM");
+  LoopPipeliner mapper(w.array);
+  const PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+  int stores = 0;
+  std::set<std::int64_t> addresses;
+  for (const ProgramOp& op : p.ops()) {
+    if (op.kind == ir::OpKind::kStore && op.array == "y") {
+      ++stores;
+      addresses.insert(op.address);
+      EXPECT_EQ(op.pe.row, op.address);  // row r stores y[r]
+    }
+  }
+  EXPECT_EQ(stores, 8);
+  EXPECT_EQ(addresses.size(), 8u);
+}
+
+TEST(Mapper, ReductionRequiresValidSourceAndArray) {
+  const auto w = kernels::find_workload("Inner product");
+  LoopPipeliner mapper(w.array);
+  ReductionSpec bad = w.reduction;
+  bad.source = 99;
+  EXPECT_THROW(mapper.map(w.kernel, w.hints, bad), InvalidArgumentError);
+  bad = w.reduction;
+  bad.array.clear();
+  EXPECT_THROW(mapper.map(w.kernel, w.hints, bad), InvalidArgumentError);
+}
+
+// --------------------------------------------------------------- programs
+TEST(Program, AddRejectsMalformedOps) {
+  PlacedProgram p(arch::ArraySpec{});
+  ProgramOp op;
+  op.kind = ir::OpKind::kAdd;
+  op.pe = {0, 0};
+  op.operands = {ProgOperand{}, ProgOperand{}};
+  EXPECT_NO_THROW(p.add(op));
+  ProgramOp bad = op;
+  bad.pe = {8, 0};
+  EXPECT_THROW(p.add(bad), InvalidArgumentError);
+  ProgramOp fwd = op;
+  fwd.operands = {ProgOperand{5, 0}, ProgOperand{}};
+  EXPECT_THROW(p.add(fwd), InvalidArgumentError);
+  ProgramOp mem;
+  mem.kind = ir::OpKind::kLoad;
+  mem.pe = {0, 0};
+  EXPECT_THROW(p.add(mem), InvalidArgumentError);  // missing array name
+}
+
+TEST(Program, MatmulPlacementMatchesFig2Discipline) {
+  const auto w = kernels::make_matmul(4);
+  LoopPipeliner mapper(w.array);
+  const PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+  // Every op of iteration (i,j) lives on PE(i,j).
+  for (const ProgramOp& op : p.ops()) {
+    ASSERT_GE(op.iter, 0);
+    EXPECT_EQ(op.pe.row, op.iter % 4);
+    EXPECT_EQ(op.pe.col, op.iter / 4);
+  }
+}
+
+}  // namespace
+}  // namespace rsp::sched

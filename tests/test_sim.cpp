@@ -1,0 +1,200 @@
+// Integration: mapper → scheduler → cycle simulator, checked against the
+// independent golden model for every kernel on every one of the paper's
+// nine architectures (81 combinations + matmul variants).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "arch/presets.hpp"
+#include "ir/interp.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+#include "sched/legality.hpp"
+#include "sched/mapper.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "util/error.hpp"
+
+namespace rsp {
+namespace {
+
+arch::Architecture arch_by_name(const std::string& name, int rows, int cols) {
+  if (name == "Base") return arch::base_architecture(rows, cols);
+  const int variant = name.back() - '0';
+  if (name.find("RSP") == 0) return arch::rsp_architecture(variant, rows, cols);
+  return arch::rs_architecture(variant, rows, cols);
+}
+
+class KernelOnArch
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(KernelOnArch, SimulatorMatchesGoldenModel) {
+  const auto [kernel_name, arch_name] = GetParam();
+  const kernels::Workload w = kernels::find_workload(kernel_name);
+  const arch::Architecture a =
+      arch_by_name(arch_name, w.array.rows, w.array.cols);
+
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::PlacedProgram program =
+      mapper.map(w.kernel, w.hints, w.reduction);
+  const sched::ContextScheduler scheduler;
+  const sched::ConfigurationContext context = scheduler.schedule(program, a);
+  sched::require_legal(context);
+
+  ir::Memory sim_mem, golden_mem;
+  w.setup(sim_mem);
+  w.setup(golden_mem);
+  const sim::Machine machine;
+  const sim::SimResult result = machine.run(context, sim_mem);
+  w.golden(golden_mem);
+
+  EXPECT_TRUE(sim_mem == golden_mem)
+      << kernel_name << " on " << arch_name
+      << ": simulated memory differs from the golden model";
+
+  // Utilisation sanity.
+  EXPECT_EQ(result.stats.cycles, context.length());
+  EXPECT_GT(result.stats.pe_utilization(), 0.0);
+  EXPECT_LE(result.stats.pe_utilization(), 1.0);
+  if (a.shares_multiplier() && result.stats.mult_ops > 0) {
+    EXPECT_EQ(result.stats.shared_unit_issues, result.stats.mult_ops);
+    EXPECT_LE(result.stats.shared_unit_utilization(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, KernelOnArch,
+    ::testing::Combine(
+        ::testing::Values("Hydro", "ICCG", "Tri-diagonal", "Inner product",
+                          "State", "2D-FDCT", "SAD", "MVM", "FFT"),
+        ::testing::Values("Base", "RS#1", "RS#2", "RS#3", "RS#4", "RSP#1",
+                          "RSP#2", "RSP#3", "RSP#4")),
+    [](const auto& info) {
+      std::string n =
+          std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& c : n)
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      return n;
+    });
+
+// ------------------------------------------------------------- matmul demo
+TEST(Simulator, MatmulFig2AndFig6ProduceIdenticalResults) {
+  const kernels::Workload w = kernels::make_matmul(4);
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+  const sched::ContextScheduler s;
+
+  ir::Memory base_mem, rsp_mem, golden;
+  w.setup(base_mem);
+  w.setup(rsp_mem);
+  w.setup(golden);
+  w.golden(golden);
+
+  const sim::Machine machine;
+  machine.run(s.schedule(p, arch::base_architecture(4, 4)), base_mem);
+  machine.run(
+      s.schedule(p, arch::custom_architecture("RSP", 4, 4, 1, 0, 2)),
+      rsp_mem);
+  EXPECT_TRUE(base_mem == golden);
+  EXPECT_TRUE(rsp_mem == golden);
+}
+
+TEST(Simulator, DeeperPipelinesStillCorrect) {
+  const kernels::Workload w = kernels::find_workload("FFT");
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::PlacedProgram p = mapper.map(w.kernel, w.hints, w.reduction);
+  const sched::ContextScheduler s;
+  for (int stages = 2; stages <= 4; ++stages) {
+    ir::Memory mem, golden;
+    w.setup(mem);
+    w.setup(golden);
+    w.golden(golden);
+    sim::Machine machine;
+    machine.run(
+        s.schedule(p, arch::rsp_architecture(2, 8, 8, stages)), mem);
+    EXPECT_TRUE(mem == golden) << stages << " stages";
+  }
+}
+
+// ------------------------------------------------------ structural checks
+TEST(Simulator, RefusesDoubleBookedPe) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<sched::ScheduledOp> ops;
+  for (int i = 0; i < 2; ++i) {
+    sched::ScheduledOp op;
+    op.kind = ir::OpKind::kConst;
+    op.pe = {0, 0};
+    op.cycle = 0;
+    ops.push_back(op);
+  }
+  ir::Memory mem;
+  EXPECT_THROW(sim::Machine().run(sched::ConfigurationContext(a, ops), mem),
+               Error);
+}
+
+TEST(Simulator, RefusesOperandConsumedBeforeReady) {
+  const arch::Architecture a = arch::rsp_architecture(1);
+  std::vector<sched::ScheduledOp> ops;
+  sched::ScheduledOp mult;
+  mult.kind = ir::OpKind::kMult;
+  mult.pe = {0, 0};
+  mult.cycle = 0;
+  mult.latency = 2;
+  mult.operands = {sched::ProgOperand{}, sched::ProgOperand{}};
+  mult.unit = arch::SharedUnitId{arch::SharedUnitId::Pool::kRow, 0, 0};
+  ops.push_back(mult);
+  sched::ScheduledOp abs;
+  abs.kind = ir::OpKind::kAbs;
+  abs.pe = {0, 1};
+  abs.cycle = 1;  // result only ready at cycle 2
+  abs.operands = {sched::ProgOperand{0, 0}};
+  ops.push_back(abs);
+  ir::Memory mem;
+  EXPECT_THROW(sim::Machine().run(sched::ConfigurationContext(a, ops), mem),
+               Error);
+}
+
+TEST(Simulator, RefusesBusOversubscription) {
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<sched::ScheduledOp> ops;
+  for (int c = 0; c < 3; ++c) {
+    sched::ScheduledOp ld;
+    ld.kind = ir::OpKind::kLoad;
+    ld.pe = {0, c};
+    ld.cycle = 0;
+    ld.array = "x";
+    ld.address = c;
+    ops.push_back(ld);
+  }
+  ir::Memory mem;
+  mem.allocate("x", 8);
+  EXPECT_THROW(sim::Machine().run(sched::ConfigurationContext(a, ops), mem),
+               Error);
+}
+
+TEST(Simulator, Wrap16ModeAppliesDatapathWidth) {
+  // A kernel whose adds overflow 16 bits behaves differently in kWrap16.
+  const arch::Architecture a = arch::base_architecture();
+  std::vector<sched::ScheduledOp> ops;
+  sched::ScheduledOp big;
+  big.kind = ir::OpKind::kConst;
+  big.pe = {0, 0};
+  big.cycle = 0;
+  big.imm = 0x7fff;
+  ops.push_back(big);
+  sched::ScheduledOp add;
+  add.kind = ir::OpKind::kAdd;
+  add.pe = {0, 0};
+  add.cycle = 1;
+  add.operands = {sched::ProgOperand{0, 0}, sched::ProgOperand{-1, 1}};
+  ops.push_back(add);
+  const sched::ConfigurationContext ctx(a, ops);
+  ir::Memory mem;
+  const auto exact = sim::Machine(ir::DatapathMode::kExact).run(ctx, mem);
+  EXPECT_EQ(exact.values[1], 0x8000);
+  const auto wrapped = sim::Machine(ir::DatapathMode::kWrap16).run(ctx, mem);
+  EXPECT_EQ(wrapped.values[1], -32768);
+}
+
+}  // namespace
+}  // namespace rsp

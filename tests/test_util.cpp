@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace rsp {
+namespace {
+
+// ---------------------------------------------------------------- strings
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(util::format_fixed(26.85, 2), "26.85");
+  EXPECT_EQ(util::format_fixed(26.0, 2), "26.00");
+  EXPECT_EQ(util::format_fixed(-4.876, 2), "-4.88");
+}
+
+TEST(Strings, FormatTrimmed) {
+  EXPECT_EQ(util::format_trimmed(26.0), "26");
+  EXPECT_EQ(util::format_trimmed(26.85), "26.85");
+  EXPECT_EQ(util::format_trimmed(26.50), "26.5");
+  EXPECT_EQ(util::format_trimmed(-0.001, 2), "0");
+  EXPECT_EQ(util::format_trimmed(0.0), "0");
+}
+
+TEST(Strings, JoinAndSplit) {
+  EXPECT_EQ(util::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(util::join({}, ","), "");
+  const auto parts = util::split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(util::pad_left("x", 3), "  x");
+  EXPECT_EQ(util::pad_right("x", 3), "x  ");
+  EXPECT_EQ(util::pad_left("xyz", 2), "xyz");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(util::starts_with("RSP#1", "RSP"));
+  EXPECT_FALSE(util::starts_with("RS", "RSP"));
+}
+
+// ------------------------------------------------------------------ table
+TEST(Table, RendersAlignedGrid) {
+  util::Table t({"Arch", "Area"});
+  t.add_row({"Base", "55739"});
+  t.add_row({"RS#1", "32446"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| Base | 55739 |"), std::string::npos);
+  EXPECT_NE(s.find("| RS#1 | 32446 |"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(util::Table({}), InvalidArgumentError);
+}
+
+TEST(Table, TitleAndSeparator) {
+  util::Table t({"x"});
+  t.set_title("My title");
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string s = t.render();
+  EXPECT_EQ(s.rfind("My title", 0), 0u);
+}
+
+// -------------------------------------------------------------------- csv
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(util::csv_escape("plain"), "plain");
+  EXPECT_EQ(util::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, RendersRows) {
+  util::CsvWriter csv({"k", "v"});
+  csv.add_row({"x", "1"});
+  EXPECT_EQ(csv.render(), "k,v\nx,1\n");
+  EXPECT_THROW(csv.add_row({"too", "many", "cells"}), InvalidArgumentError);
+}
+
+// -------------------------------------------------------------------- rng
+TEST(Rng, DeterministicAcrossInstances) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformStaysInRange) {
+  util::Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  util::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 4);
+}
+
+// ------------------------------------------------------------------ error
+TEST(Error, AssertThrowsInternalError) {
+  EXPECT_THROW([] { RSP_ASSERT(1 == 2); }(), InternalError);
+  EXPECT_NO_THROW([] { RSP_ASSERT(2 == 2); }());
+}
+
+TEST(Error, HierarchyIsCatchable) {
+  try {
+    throw InfeasibleError("too big");
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("too big"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- logging
+TEST(Logging, SinkReceivesAboveThreshold) {
+  std::vector<std::string> seen;
+  auto prev = util::set_log_sink(
+      [&](util::LogLevel, const std::string& m) { seen.push_back(m); });
+  util::set_log_threshold(util::LogLevel::kInfo);
+  RSP_LOG(kDebug) << "hidden";
+  RSP_LOG(kInfo) << "visible " << 42;
+  util::set_log_sink(prev);
+  util::set_log_threshold(util::LogLevel::kWarning);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "visible 42");
+}
+
+}  // namespace
+}  // namespace rsp

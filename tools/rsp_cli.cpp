@@ -1,0 +1,217 @@
+// rsp_cli — command-line front-end to the RSP-CGRA toolchain.
+//
+//   rsp_cli list                      kernels and architectures
+//   rsp_cli map <kernel> <arch>       schedule + print the context grid
+//   rsp_cli eval <kernel>             Tables-4/5-style row for one kernel
+//   rsp_cli simulate <kernel> <arch>  run on the cycle simulator, verify
+//   rsp_cli explore                   DSE over the full kernel domain
+//   rsp_cli rtl <arch>                emit structural Verilog to stdout
+//   rsp_cli dot <kernel>              emit the body DFG in Graphviz format
+//   rsp_cli vcd <kernel> <arch>       emit a VCD waveform to stdout
+//   rsp_cli bitstream <kernel> <arch> report configuration bitstream size
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/bitstream.hpp"
+#include "arch/presets.hpp"
+#include "core/evaluator.hpp"
+#include "core/report_json.hpp"
+#include "dse/explorer.hpp"
+#include "ir/dot.hpp"
+#include "kernels/h264.hpp"
+#include "kernels/matmul.hpp"
+#include "kernels/registry.hpp"
+#include "rtl/generate.hpp"
+#include "sched/legality.hpp"
+#include "sched/mapper.hpp"
+#include "sched/pretty.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "sim/vcd.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rsp;
+
+std::vector<kernels::Workload> all_workloads() {
+  std::vector<kernels::Workload> all = kernels::paper_suite();
+  for (kernels::Workload& w : kernels::h264_suite())
+    all.push_back(std::move(w));
+  all.push_back(kernels::make_matmul(4));
+  return all;
+}
+
+kernels::Workload workload_by_name(const std::string& name) {
+  for (kernels::Workload& w : all_workloads())
+    if (w.name == name) return w;
+  throw NotFoundError("unknown kernel '" + name +
+                      "' (run `rsp_cli list` for the catalogue)");
+}
+
+arch::Architecture arch_by_name(const std::string& name, int rows, int cols) {
+  for (const arch::Architecture& a : arch::standard_suite(rows, cols))
+    if (a.name == name) return a;
+  throw NotFoundError("unknown architecture '" + name +
+                      "' (Base, RS#1..RS#4, RSP#1..RSP#4)");
+}
+
+sched::ConfigurationContext schedule_for(const kernels::Workload& w,
+                                         const arch::Architecture& a) {
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::ContextScheduler scheduler;
+  sched::ConfigurationContext ctx =
+      scheduler.schedule(mapper.map(w.kernel, w.hints, w.reduction), a);
+  sched::require_legal(ctx);
+  return ctx;
+}
+
+int cmd_list() {
+  util::Table kernels_table({"Kernel", "Iterations", "Op set", "Array"});
+  for (const kernels::Workload& w : all_workloads())
+    kernels_table.add_row({w.name, std::to_string(w.kernel.trip_count()),
+                           w.kernel.op_set_string(),
+                           std::to_string(w.array.rows) + "x" +
+                               std::to_string(w.array.cols)});
+  std::cout << kernels_table.render() << "\nArchitectures: ";
+  for (const arch::Architecture& a : arch::standard_suite())
+    std::cout << a.name << " ";
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_map(const std::string& kernel, const std::string& arch_name) {
+  const kernels::Workload w = workload_by_name(kernel);
+  const arch::Architecture a =
+      arch_by_name(arch_name, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  std::cout << render_schedule(ctx) << "cycles: " << ctx.length()
+            << ", peak mults/cycle: " << ctx.max_critical_issues_per_cycle()
+            << "\n";
+  return 0;
+}
+
+int cmd_eval(const std::string& kernel, bool as_json) {
+  const kernels::Workload w = workload_by_name(kernel);
+  const core::RspEvaluator evaluator;
+  const sched::LoopPipeliner mapper(w.array);
+  const auto rows = evaluator.evaluate_suite(
+      mapper.map(w.kernel, w.hints, w.reduction),
+      arch::standard_suite(w.array.rows, w.array.cols));
+  if (as_json) {
+    std::cout << core::to_json(w.name, rows).dump(true) << "\n";
+    return 0;
+  }
+  util::Table table({"Arch", "cycles", "ET(ns)", "DR(%)", "stall"});
+  table.set_title(w.name);
+  for (const auto& r : rows)
+    table.add_row({r.arch_name, std::to_string(r.cycles),
+                   util::format_trimmed(r.execution_time_ns, 2),
+                   util::format_trimmed(r.delay_reduction_percent, 2),
+                   std::to_string(r.stalls)});
+  std::cout << table.render();
+  return 0;
+}
+
+int cmd_simulate(const std::string& kernel, const std::string& arch_name) {
+  const kernels::Workload w = workload_by_name(kernel);
+  const arch::Architecture a =
+      arch_by_name(arch_name, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  ir::Memory mem, golden;
+  w.setup(mem);
+  w.setup(golden);
+  const sim::SimResult result = sim::Machine().run(ctx, mem);
+  w.golden(golden);
+  std::cout << w.name << " on " << a.name << ": " << result.stats.cycles
+            << " cycles, PE util "
+            << util::format_trimmed(100 * result.stats.pe_utilization(), 1)
+            << "%, result "
+            << (mem == golden ? "matches golden" : "MISMATCH") << "\n";
+  return mem == golden ? 0 : 1;
+}
+
+int cmd_explore() {
+  dse::Explorer explorer((arch::ArraySpec()));
+  const dse::ExplorationResult result =
+      explorer.explore(kernels::paper_suite());
+  const dse::Candidate& best = result.best();
+  std::cout << "explored " << result.candidates.size()
+            << " designs; selected " << best.point.label() << " (area "
+            << util::format_trimmed(best.area_synthesized, 0) << ", time "
+            << util::format_trimmed(best.exact_time_ns, 0) << " ns)\n";
+  return 0;
+}
+
+int cmd_rtl(const std::string& arch_name) {
+  std::cout << rtl::generate_verilog(arch_by_name(arch_name, 8, 8));
+  return 0;
+}
+
+int cmd_dot(const std::string& kernel) {
+  std::cout << ir::to_dot(workload_by_name(kernel).kernel);
+  return 0;
+}
+
+int cmd_vcd(const std::string& kernel, const std::string& arch_name) {
+  const kernels::Workload w = workload_by_name(kernel);
+  const arch::Architecture a =
+      arch_by_name(arch_name, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  ir::Memory mem;
+  w.setup(mem);
+  const sim::SimResult result = sim::Machine().run(ctx, mem);
+  std::cout << sim::to_vcd(ctx, result);
+  return 0;
+}
+
+int cmd_bitstream(const std::string& kernel, const std::string& arch_name) {
+  const kernels::Workload w = workload_by_name(kernel);
+  const arch::Architecture a =
+      arch_by_name(arch_name, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  const arch::ConfigCache cache = ctx.encode();
+  const auto bytes = arch::encode_bitstream(cache, a.sharing);
+  std::cout << w.name << " on " << a.name << ": " << cache.summary() << ", "
+            << bytes.size() << "-byte bitstream\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: rsp_cli <command> [args]\n"
+         "  list | map <kernel> <arch> | eval <kernel> [--json] |\n"
+         "  simulate <kernel> <arch> | explore | rtl <arch> |\n"
+         "  dot <kernel> | vcd <kernel> <arch> | bitstream <kernel> <arch>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "explore") return cmd_explore();
+    if (args.size() >= 2) {
+      if (cmd == "eval")
+        return cmd_eval(args[1], args.size() > 2 && args[2] == "--json");
+      if (cmd == "rtl") return cmd_rtl(args[1]);
+      if (cmd == "dot") return cmd_dot(args[1]);
+    }
+    if (args.size() >= 3) {
+      if (cmd == "map") return cmd_map(args[1], args[2]);
+      if (cmd == "simulate") return cmd_simulate(args[1], args[2]);
+      if (cmd == "vcd") return cmd_vcd(args[1], args[2]);
+      if (cmd == "bitstream") return cmd_bitstream(args[1], args[2]);
+    }
+    return usage();
+  } catch (const rsp::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
