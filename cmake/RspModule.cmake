@@ -1,0 +1,16 @@
+# rsp_add_module(<name> SOURCES <files...> [DEPS <rsp::targets...>])
+#
+# Declares the static library `rsp_<name>` (alias `rsp::<name>`) for one
+# subsystem under src/. Include paths are rooted at src/ so headers are
+# addressed as "subsystem/header.hpp" everywhere, and dependencies are PUBLIC
+# because module headers include their dependencies' headers.
+function(rsp_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "rsp_add_module(${name}) called without SOURCES")
+  endif()
+  add_library(rsp_${name} STATIC ${ARG_SOURCES})
+  add_library(rsp::${name} ALIAS rsp_${name})
+  target_include_directories(rsp_${name} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_link_libraries(rsp_${name} PUBLIC rsp::build_flags ${ARG_DEPS})
+endfunction()

@@ -1,0 +1,13 @@
+#!/usr/bin/env sh
+# Tier-1 verify: configure, build, and run the full test suite from a clean
+# tree, exactly as ROADMAP.md specifies. Run from anywhere; builds into
+# <repo>/build.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+cmake -B build -S .
+cmake --build build -j
+cd build
+ctest --output-on-failure --no-tests=error -j "$(nproc 2>/dev/null || echo 4)"

@@ -1,7 +1,10 @@
 #include "util/json.hpp"
 
+#include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "util/error.hpp"
 
@@ -31,6 +34,299 @@ std::size_t Json::size() const {
   if (kind_ == Kind::kObject) return fields_.size();
   if (kind_ == Kind::kArray) return items_.size();
   return 0;
+}
+
+bool Json::as_bool() const {
+  if (kind_ != Kind::kBool)
+    throw InvalidArgumentError("as_bool() requires a JSON bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (kind_ != Kind::kNumber)
+    throw InvalidArgumentError("as_number() requires a JSON number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (kind_ != Kind::kString)
+    throw InvalidArgumentError("as_string() requires a JSON string");
+  return string_;
+}
+
+bool Json::contains(const std::string& key) const {
+  if (kind_ != Kind::kObject) return false;
+  for (const auto& [k, v] : fields_)
+    if (k == key) return true;
+  return false;
+}
+
+const Json& Json::at(const std::string& key) const {
+  if (kind_ != Kind::kObject)
+    throw InvalidArgumentError("at(key) requires a JSON object");
+  for (const auto& [k, v] : fields_)
+    if (k == key) return v;
+  throw NotFoundError("no JSON field '" + key + "'");
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (kind_ != Kind::kArray)
+    throw InvalidArgumentError("at(index) requires a JSON array");
+  if (index >= items_.size())
+    throw InvalidArgumentError("JSON array index " + std::to_string(index) +
+                               " out of range (size " +
+                               std::to_string(items_.size()) + ")");
+  return items_[index];
+}
+
+namespace {
+
+// Recursive-descent parser over the document; positions are byte offsets so
+// error messages can point at the offending character.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw InvalidArgumentError("JSON parse error at offset " +
+                               std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{':
+      case '[': {
+        // Bounded recursion: containers are the only recursive productions,
+        // so pathological nesting fails cleanly instead of blowing the stack.
+        if (depth_ >= kMaxDepth) fail("nesting depth exceeds limit");
+        ++depth_;
+        Json value = text_[pos_] == '{' ? parse_object() : parse_array();
+        --depth_;
+        return value;
+      }
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      const std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u':
+          out += parse_unicode_escape();
+          break;
+        default:
+          fail("invalid escape sequence");
+      }
+    }
+  }
+
+  // Decodes \uXXXX (BMP only; surrogate pairs are rejected — escape() never
+  // emits them) to UTF-8.
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9')
+        code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid hex digit in \\u escape");
+    }
+    if (code >= 0xD800 && code <= 0xDFFF)
+      fail("surrogate pairs are not supported");
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  // Matches the JSON number grammar exactly: -?int frac? exp?, where int has
+  // no leading zero and `+5`, `.5`, `5.` are rejected (strtod alone would
+  // accept them).
+  Json parse_number() {
+    const std::size_t start = pos_;
+    auto digit = [this] {
+      return pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) fail("invalid value");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) fail("expected digit after decimal point");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      if (!digit()) fail("expected digit in exponent");
+      while (digit()) ++pos_;
+    }
+    // from_chars is locale-independent (strtod would mis-parse "1.5" under a
+    // comma-decimal LC_NUMERIC) and reports overflow to +-inf as an error.
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec == std::errc::result_out_of_range)
+      fail("number out of double range");
+    if (ec != std::errc() || ptr != last || !std::isfinite(value))
+      fail("invalid number");
+    return Json(value);
+  }
+
+  static constexpr int kMaxDepth = 1000;
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
 }
 
 std::string Json::escape(const std::string& s) {
@@ -77,8 +373,12 @@ void Json::render(std::string& out, bool pretty, int depth) const {
       out += bool_ ? "true" : "false";
       break;
     case Kind::kNumber: {
-      if (std::isfinite(number_) && number_ == std::floor(number_) &&
-          std::abs(number_) < 9.0e15) {
+      if (!std::isfinite(number_)) {
+        // JSON has no inf/nan literal; null keeps the document parseable.
+        out += "null";
+        break;
+      }
+      if (number_ == std::floor(number_) && std::abs(number_) < 9.0e15) {
         char buf[32];
         std::snprintf(buf, sizeof(buf), "%lld",
                       static_cast<long long>(number_));

@@ -1,6 +1,6 @@
-// Minimal JSON value/writer (objects, arrays, strings, numbers, bools).
-// Used to export evaluation and exploration reports machine-readably; no
-// parsing, no external dependencies.
+// Minimal JSON value, writer and parser (objects, arrays, strings, numbers,
+// bools). Used to export evaluation and exploration reports machine-readably
+// and to read them back in tests and tooling; no external dependencies.
 #pragma once
 
 #include <cstdint>
@@ -33,14 +33,35 @@ class Json {
     return j;
   }
 
+  /// Parses a complete JSON document (trailing garbage is an error).
+  /// Throws InvalidArgumentError with a byte offset on malformed input.
+  static Json parse(const std::string& text);
+
   /// Object field setter (creates/overwrites); returns *this for chaining.
   Json& set(const std::string& key, Json value);
   /// Array append.
   Json& push(Json value);
 
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
   bool is_object() const { return kind_ == Kind::kObject; }
   bool is_array() const { return kind_ == Kind::kArray; }
   std::size_t size() const;
+
+  /// Scalar accessors; throw InvalidArgumentError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// True when this is an object with a field named `key`.
+  bool contains(const std::string& key) const;
+  /// Object field lookup; throws NotFoundError for a missing key and
+  /// InvalidArgumentError when this is not an object.
+  const Json& at(const std::string& key) const;
+  /// Array element lookup; throws InvalidArgumentError out of range.
+  const Json& at(std::size_t index) const;
 
   /// Compact rendering (no whitespace) or pretty with 2-space indent.
   std::string dump(bool pretty = false) const;

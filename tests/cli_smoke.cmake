@@ -1,0 +1,31 @@
+# Smoke-test driver for rsp_cli, run via ctest as
+#   cmake -DCLI=<binary> [-DARGS="space separated args"] -DEXPECT_RC=<code>
+#         [-DEXPECT_STDOUT=1] [-DEXPECT_STDERR=1] -P cli_smoke.cmake
+# Fails (non-zero exit) when the exit code differs from EXPECT_RC or when a
+# stream expected to carry output is empty.
+if(NOT DEFINED CLI OR NOT DEFINED EXPECT_RC)
+  message(FATAL_ERROR "cli_smoke.cmake requires -DCLI=... and -DEXPECT_RC=...")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+separate_arguments(ARGS UNIX_COMMAND "${ARGS}")
+
+execute_process(
+  COMMAND ${CLI} ${ARGS}
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+
+string(REPLACE ";" " " pretty_args "${ARGS}")
+if(NOT rc EQUAL ${EXPECT_RC})
+  message(FATAL_ERROR
+    "rsp_cli ${pretty_args}: exit code ${rc}, expected ${EXPECT_RC}\n"
+    "stdout:\n${out}\nstderr:\n${err}")
+endif()
+if(EXPECT_STDOUT AND out STREQUAL "")
+  message(FATAL_ERROR "rsp_cli ${pretty_args}: expected non-empty stdout")
+endif()
+if(EXPECT_STDERR AND err STREQUAL "")
+  message(FATAL_ERROR "rsp_cli ${pretty_args}: expected non-empty stderr")
+endif()

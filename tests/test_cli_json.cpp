@@ -1,0 +1,77 @@
+// End-to-end coverage for the CLI JSON report path: runs the real rsp_cli
+// binary (path injected by the build as RSP_CLI_BINARY), parses its stdout
+// back through util/json, and asserts the report schema round-trips.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace rsp {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string command = std::string(RSP_CLI_BINARY) + " " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("popen failed: " + command);
+  CliResult result;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0)
+    result.stdout_text.append(buffer, n);
+  const int status = pclose(pipe);
+  result.exit_code = (status >= 0 && WIFEXITED(status))
+                         ? WEXITSTATUS(status)
+                         : -1;
+  return result;
+}
+
+TEST(CliJson, EvalJsonParsesBack) {
+  const CliResult r = run_cli("eval SAD --json");
+  ASSERT_EQ(r.exit_code, 0);
+  ASSERT_FALSE(r.stdout_text.empty());
+
+  const util::Json report = util::Json::parse(r.stdout_text);
+  ASSERT_TRUE(report.is_object());
+  EXPECT_EQ(report.at("kernel").as_string(), "SAD");
+
+  const util::Json& results = report.at("results");
+  ASSERT_TRUE(results.is_array());
+  ASSERT_EQ(results.size(), 9u);  // Base, RS#1..RS#4, RSP#1..RSP#4
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const util::Json& row = results.at(i);
+    for (const char* key :
+         {"arch", "cycles", "stalls", "clock_ns", "execution_time_ns",
+          "delay_reduction_percent", "max_mults_per_cycle"})
+      EXPECT_TRUE(row.contains(key)) << "row " << i << " missing " << key;
+    EXPECT_TRUE(row.at("arch").is_string());
+    EXPECT_GT(row.at("cycles").as_number(), 0);
+    EXPECT_GT(row.at("execution_time_ns").as_number(), 0);
+  }
+  EXPECT_EQ(results.at(0).at("arch").as_string(), "Base");
+}
+
+TEST(CliJson, EvalJsonRoundTripIsStable) {
+  const CliResult r = run_cli("eval MVM --json");
+  ASSERT_EQ(r.exit_code, 0);
+  const util::Json once = util::Json::parse(r.stdout_text);
+  const util::Json twice = util::Json::parse(once.dump());
+  EXPECT_EQ(once.dump(), twice.dump());
+  EXPECT_EQ(once.dump(true), twice.dump(true));
+}
+
+TEST(CliJson, UnknownKernelFailsNonzero) {
+  const CliResult r = run_cli("eval no-such-kernel --json 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+}  // namespace
+}  // namespace rsp

@@ -145,9 +145,11 @@ TEST(Explorer, ObjectiveMinAreaPicksSmallestEvaluated) {
   Explorer explorer(arch::ArraySpec{}, config);
   const auto result = explorer.explore({kernels::find_workload("MVM")});
   const Candidate& best = result.best();
-  for (const Candidate& c : result.candidates)
-    if (c.evaluated)
+  for (const Candidate& c : result.candidates) {
+    if (c.evaluated) {
       EXPECT_LE(best.area_synthesized, c.area_synthesized);
+    }
+  }
 }
 
 TEST(Explorer, RejectsTooSlowDesigns) {

@@ -66,9 +66,13 @@ TEST(Unroll, CarriedInputResolvesAcrossIterations) {
 
 TEST(Unroll, TopologicalOrderInvariant) {
   const UnrolledGraph u(axpy_kernel(7));
-  for (OpId i = 0; i < u.size(); ++i)
-    for (const ConcreteOperand& o : u.op(i).operands)
-      if (!o.is_imm()) EXPECT_LT(o.op, i);
+  for (OpId i = 0; i < u.size(); ++i) {
+    for (const ConcreteOperand& o : u.op(i).operands) {
+      if (!o.is_imm()) {
+        EXPECT_LT(o.op, i);
+      }
+    }
+  }
 }
 
 // Memory dependences: load-after-store, store-after-store, store-after-load.

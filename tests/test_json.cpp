@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "arch/presets.hpp"
 #include "core/report_json.hpp"
 #include "kernels/registry.hpp"
@@ -53,6 +56,104 @@ TEST(Json, TypeErrors) {
 TEST(Json, LargeIntegersStayExact) {
   EXPECT_EQ(util::Json(std::int64_t{55739}).dump(), "55739");
   EXPECT_EQ(util::Json(std::int64_t{-123456789}).dump(), "-123456789");
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(util::Json::parse("null").is_null());
+  EXPECT_EQ(util::Json::parse("true").as_bool(), true);
+  EXPECT_EQ(util::Json::parse("false").as_bool(), false);
+  EXPECT_EQ(util::Json::parse("42").as_number(), 42.0);
+  EXPECT_EQ(util::Json::parse("-2.5e2").as_number(), -250.0);
+  EXPECT_EQ(util::Json::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(util::Json::parse(" \n\t 7 ").as_number(), 7.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(util::Json::parse("\"a\\\"b\\\\c\\nd\"").as_string(), "a\"b\\c\nd");
+  EXPECT_EQ(util::Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(util::Json::parse("\"\\u0001\"").as_string(),
+            std::string(1, '\x01'));
+}
+
+TEST(JsonParse, Containers) {
+  const util::Json j =
+      util::Json::parse("{\"a\": [1, \"two\", {\"b\": true}], \"c\": null}");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_EQ(j.size(), 2u);
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("missing"));
+  const util::Json& arr = j.at("a");
+  ASSERT_TRUE(arr.is_array());
+  EXPECT_EQ(arr.at(0).as_number(), 1.0);
+  EXPECT_EQ(arr.at(1).as_string(), "two");
+  EXPECT_EQ(arr.at(2).at("b").as_bool(), true);
+  EXPECT_TRUE(j.at("c").is_null());
+  EXPECT_TRUE(util::Json::parse("{}").is_object());
+  EXPECT_EQ(util::Json::parse("[]").size(), 0u);
+}
+
+TEST(JsonParse, DumpRoundTrip) {
+  util::Json j = util::Json::object();
+  j.set("kernel", "SAD").set("count", 3).set("exact", std::int64_t{55739});
+  util::Json arr = util::Json::array();
+  arr.push(1.5).push("x\ny").push(util::Json());
+  j.set("items", std::move(arr));
+  EXPECT_EQ(util::Json::parse(j.dump()).dump(), j.dump());
+  EXPECT_EQ(util::Json::parse(j.dump(true)).dump(true), j.dump(true));
+}
+
+TEST(JsonParse, AccessorTypeErrors) {
+  const util::Json j = util::Json::parse("{\"a\": 1}");
+  EXPECT_THROW(j.at("missing"), NotFoundError);
+  EXPECT_THROW(j.at(std::size_t{0}), InvalidArgumentError);
+  EXPECT_THROW(j.at("a").as_string(), InvalidArgumentError);
+  EXPECT_THROW(j.at("a").as_bool(), InvalidArgumentError);
+  EXPECT_THROW(util::Json("s").as_number(), InvalidArgumentError);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(util::Json::parse(""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("{"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("[1,]"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("{\"a\" 1}"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"unterminated"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\q\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("1 2"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("tru"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("--1"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("1.2.3"), InvalidArgumentError);
+}
+
+TEST(JsonParse, EnforcesStrictNumberGrammar) {
+  EXPECT_THROW(util::Json::parse("+5"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse(".5"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("5."), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("017"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("[1e]"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("-"), InvalidArgumentError);
+  EXPECT_EQ(util::Json::parse("0").as_number(), 0.0);
+  EXPECT_EQ(util::Json::parse("-0.5e+2").as_number(), -50.0);
+  EXPECT_EQ(util::Json::parse("1E3").as_number(), 1000.0);
+}
+
+TEST(JsonParse, NonFiniteNumbersRejectedAndRenderedAsNull) {
+  EXPECT_THROW(util::Json::parse("1e999"), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("-1e999"), InvalidArgumentError);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(util::Json(inf).dump(), "null");
+  EXPECT_EQ(util::Json(std::nan("")).dump(), "null");
+  // A document containing a non-finite metric still round-trips as JSON.
+  util::Json j = util::Json::object();
+  j.set("ratio", inf);
+  EXPECT_TRUE(util::Json::parse(j.dump()).at("ratio").is_null());
+}
+
+TEST(JsonParse, DeepNestingFailsInsteadOfOverflowing) {
+  const std::string deep(100000, '[');
+  EXPECT_THROW(util::Json::parse(deep), InvalidArgumentError);
+  // 500 levels is fine (limit is 1000).
+  const std::string ok = std::string(500, '[') + std::string(500, ']');
+  EXPECT_EQ(util::Json::parse(ok).size(), 1u);
 }
 
 TEST(ReportJson, EvaluationExport) {

@@ -66,9 +66,12 @@ TEST(Registry, SetupProvidesEveryArrayTheBodyTouches) {
   for (const auto& w : paper_suite()) {
     ir::Memory m;
     w.setup(m);
-    for (const ir::Node& n : w.kernel.body().nodes())
-      if (n.mem) EXPECT_TRUE(m.has(n.mem->array))
-          << w.name << " touches unallocated array " << n.mem->array;
+    for (const ir::Node& n : w.kernel.body().nodes()) {
+      if (n.mem) {
+        EXPECT_TRUE(m.has(n.mem->array))
+            << w.name << " touches unallocated array " << n.mem->array;
+      }
+    }
   }
 }
 

@@ -45,7 +45,9 @@ TEST(Scheduler, DeterministicAcrossRuns) {
   for (ProgIndex i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.op(i).cycle, b.op(i).cycle);
     EXPECT_EQ(a.op(i).unit.has_value(), b.op(i).unit.has_value());
-    if (a.op(i).unit) EXPECT_EQ(*a.op(i).unit, *b.op(i).unit);
+    if (a.op(i).unit) {
+      EXPECT_EQ(*a.op(i).unit, *b.op(i).unit);
+    }
   }
 }
 

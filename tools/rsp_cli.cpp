@@ -179,13 +179,15 @@ int cmd_bitstream(const std::string& kernel, const std::string& arch_name) {
   return 0;
 }
 
+// Usage errors (no command, unknown command, missing arguments) print the
+// synopsis to stderr and exit 1 so scripts and CI can detect misuse.
 int usage() {
   std::cerr
       << "usage: rsp_cli <command> [args]\n"
          "  list | map <kernel> <arch> | eval <kernel> [--json] |\n"
          "  simulate <kernel> <arch> | explore | rtl <arch> |\n"
          "  dot <kernel> | vcd <kernel> <arch> | bitstream <kernel> <arch>\n";
-  return 2;
+  return 1;
 }
 
 }  // namespace
