@@ -1,0 +1,143 @@
+// Runtime scaling bench: how much faster does the exact-evaluation stage
+// of the Fig. 7 DSE loop get with the parallel runtime?
+//
+// The workload is the paper's nine-kernel domain under the default
+// explorer configuration. `rounds` repeated evaluations of the same Pareto
+// survivors model a serving scenario (many exploration requests touching
+// the same design points per process). Modes:
+//
+//   serial       the dse::Explorer step-5 loop, measured directly
+//   pool         fan-out over a ThreadPool, no memoization
+//   pool+cache   fan-out plus the EvalCache memo table
+//
+// Expected shape: pool scales with physical cores on cold evaluations;
+// pool+cache collapses repeated rounds to lookups, which is where the
+// >1.5x win comes from even on small machines.
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dse/explorer.hpp"
+#include "kernels/registry.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/parallel_explorer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/report.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rsp;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct Setup {
+  dse::PreparedExploration prep;
+  std::vector<std::size_t> survivors;
+  /// Survivor candidates only, so the per-round copies in the pool and
+  /// serial paths move the same amount of data.
+  dse::ExplorationResult pareto_only;
+};
+
+// One serial pass over the Pareto survivors — the exact step-5 loop.
+void run_serial_round(const Setup& setup) {
+  const sched::ContextScheduler scheduler;
+  for (const std::size_t index : setup.survivors) {
+    dse::Candidate cand = setup.prep.result.candidates[index];
+    dse::evaluate_exact(cand, setup.prep.programs.size(),
+                        [&](std::size_t k, const arch::Architecture& a) {
+                          return sched::measure(
+                              scheduler, setup.prep.programs[k], a);
+                        });
+  }
+}
+
+// One pooled pass: the production step-5 driver (a task per (survivor,
+// kernel), optionally memoized) on a fresh copy of the survivor set.
+void run_pool_round(const Setup& setup, runtime::ThreadPool& pool,
+                    runtime::EvalCache* cache) {
+  dse::ExplorationResult result = setup.pareto_only;
+  runtime::evaluate_pareto_exact(setup.prep.programs,
+                                 setup.prep.kernel_names, result, pool,
+                                 cache);
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<kernels::Workload> domain = kernels::paper_suite();
+  const dse::Explorer explorer((arch::ArraySpec()));
+
+  Setup setup;
+  setup.prep = explorer.prepare(domain);
+  for (std::size_t i = 0; i < setup.prep.result.candidates.size(); ++i)
+    if (setup.prep.result.candidates[i].pareto) {
+      setup.survivors.push_back(i);
+      setup.pareto_only.candidates.push_back(
+          setup.prep.result.candidates[i]);
+    }
+
+  constexpr int kRounds = 3;
+  bench::print_header("Runtime scaling: exact evaluation, paper domain");
+  std::cout << setup.survivors.size() << " Pareto survivors x "
+            << setup.prep.programs.size() << " kernels, " << kRounds
+            << " rounds (repeated design points)\n";
+
+  util::Table table(
+      {"Mode", "Threads", "Time(ms)", "Speedup", "Hit rate(%)"});
+  util::CsvWriter csv(
+      {"mode", "threads", "time_ms", "speedup", "hit_rate_percent"});
+
+  const Clock::time_point serial_start = Clock::now();
+  for (int r = 0; r < kRounds; ++r) run_serial_round(setup);
+  const double serial_ms = ms_since(serial_start);
+  table.add_row({"serial", "1", util::format_trimmed(serial_ms, 2), "1.00",
+                 "-"});
+  csv.add_row({"serial", "1", util::format_trimmed(serial_ms, 3), "1.00",
+               "0"});
+
+  double speedup_4_threads = 0.0;
+  double hit_rate_4_threads = 0.0;
+  for (const bool with_cache : {false, true}) {
+    for (const int threads : {1, 2, 4}) {
+      runtime::ThreadPool pool(threads);
+      runtime::EvalCache cache;
+      const Clock::time_point start = Clock::now();
+      for (int r = 0; r < kRounds; ++r)
+        run_pool_round(setup, pool, with_cache ? &cache : nullptr);
+      const double elapsed_ms = ms_since(start);
+      const double speedup = serial_ms / elapsed_ms;
+      const double hit_rate = 100.0 * cache.stats().hit_rate();
+      const std::string mode = with_cache ? "pool+cache" : "pool";
+      table.add_row({mode, std::to_string(threads),
+                     util::format_trimmed(elapsed_ms, 2),
+                     util::format_trimmed(speedup, 2),
+                     with_cache ? util::format_trimmed(hit_rate, 1) : "-"});
+      csv.add_row({mode, std::to_string(threads),
+                   util::format_trimmed(elapsed_ms, 3),
+                   util::format_trimmed(speedup, 3),
+                   util::format_trimmed(hit_rate, 2)});
+      if (with_cache && threads == 4) {
+        speedup_4_threads = speedup;
+        hit_rate_4_threads = hit_rate;
+      }
+    }
+  }
+
+  std::cout << table.render();
+  bench::maybe_write_csv(csv, "bench_runtime_scaling");
+
+  // The acceptance bar for the runtime subsystem: repeated design points
+  // must be served >1.5x faster at 4 threads with a warm memo cache.
+  std::cout << "\n4-thread pool+cache speedup: "
+            << util::format_trimmed(speedup_4_threads, 2) << "x (target >1.5x), "
+            << "cache hit rate " << util::format_trimmed(hit_rate_4_threads, 1)
+            << "% (target >0%)\n";
+  return speedup_4_threads > 1.5 && hit_rate_4_threads > 0.0 ? 0 : 1;
+}

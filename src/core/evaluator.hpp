@@ -25,6 +25,24 @@ struct EvalResult {
   int max_mults_per_cycle = 0;           ///< measured on this context
 };
 
+/// Scheduling-only measurement of one (program, architecture) pair.
+struct MeasuredPerf {
+  sched::PerfPoint perf;
+  int max_critical_issues = 0;  ///< peak critical-resource issues per cycle
+};
+
+/// Measures a pair with a single schedule serving both the PerfPoint and
+/// the issue-width column. Shared by the serial evaluator and
+/// runtime::ParallelExplorer so the two paths cannot drift.
+MeasuredPerf measure_perf(const sched::ContextScheduler& scheduler,
+                          const sched::PlacedProgram& program,
+                          const arch::Architecture& architecture);
+
+/// Assembles the EvalResult row (delay reduction left 0) from a
+/// measurement — the single definition of the row's derived fields.
+EvalResult make_eval_result(const arch::Architecture& architecture,
+                            const MeasuredPerf& measured, double clock_ns);
+
 class RspEvaluator {
  public:
   explicit RspEvaluator(synth::SynthesisModel synth = synth::SynthesisModel(),
@@ -39,6 +57,17 @@ class RspEvaluator {
   EvalResult evaluate(const sched::PlacedProgram& program,
                       const arch::Architecture& architecture,
                       double base_et_ns = 0.0) const;
+
+  /// Evaluates one architecture without the delay-reduction column. Rows
+  /// produced this way are position-independent, so parallel runtimes can
+  /// compute them in any order and fill the column afterwards with
+  /// `apply_delay_reductions` — bit-identical to the serial path.
+  EvalResult evaluate_raw(const sched::PlacedProgram& program,
+                          const arch::Architecture& architecture) const;
+
+  /// Fills `delay_reduction_percent` of rows[1..] against rows[0] (the
+  /// base); rows[0] keeps 0. Uses the exact formula of `evaluate`.
+  static void apply_delay_reductions(std::vector<EvalResult>& rows);
 
   /// Evaluates the whole suite; the first entry must be the base
   /// architecture (delay reductions are computed against it).

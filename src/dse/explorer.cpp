@@ -41,27 +41,40 @@ Explorer::Explorer(arch::ArraySpec array, ExplorerConfig config,
     throw InvalidArgumentError("malformed explorer config");
 }
 
-ExplorationResult Explorer::explore(
+void evaluate_exact(Candidate& cand, std::size_t program_count,
+                    const MeasureFn& measure) {
+  cand.evaluated = true;
+  cand.exact_cycles = 0;
+  cand.total_stalls = 0;
+  for (std::size_t k = 0; k < program_count; ++k) {
+    const sched::PerfPoint p = measure(k, cand.architecture);
+    cand.exact_cycles += p.cycles;
+    cand.total_stalls += p.stalls;
+  }
+  cand.exact_time_ns = static_cast<double>(cand.exact_cycles) * cand.clock_ns;
+}
+
+PreparedExploration Explorer::prepare(
     const std::vector<kernels::Workload>& domain) const {
   if (domain.empty())
     throw InvalidArgumentError("exploration requires at least one kernel");
 
-  const core::RspEvaluator evaluator(synth_);
-  const sched::ContextScheduler& scheduler = evaluator.scheduler();
+  const sched::ContextScheduler scheduler;
   const sched::LoopPipeliner mapper(array_);
 
   // Step 1: initial configuration contexts on the base architecture.
   const arch::Architecture base =
       arch::base_architecture(array_.rows, array_.cols);
-  std::vector<sched::PlacedProgram> programs;
+  PreparedExploration prep;
   std::vector<sched::ConfigurationContext> base_contexts;
-  ExplorationResult result;
+  ExplorationResult& result = prep.result;
   for (const kernels::Workload& w : domain) {
     if (w.array != array_)
       throw InvalidArgumentError("workload '" + w.name +
                                  "' targets a different array geometry");
-    programs.push_back(mapper.map(w.kernel, w.hints, w.reduction));
-    base_contexts.push_back(scheduler.schedule(programs.back(), base));
+    prep.kernel_names.push_back(w.name);
+    prep.programs.push_back(mapper.map(w.kernel, w.hints, w.reduction));
+    base_contexts.push_back(scheduler.schedule(prep.programs.back(), base));
     sched::require_legal(base_contexts.back());
     result.base_cycles += base_contexts.back().length();
   }
@@ -89,7 +102,7 @@ ExplorationResult Explorer::explore(
         cand.area_synthesized = synth_.area(cand.architecture);
         cand.clock_ns = synth_.clock_ns(cand.architecture);
 
-        for (std::size_t k = 0; k < programs.size(); ++k) {
+        for (std::size_t k = 0; k < prep.programs.size(); ++k) {
           const core::PerfEstimate est = core::estimate_performance(
               base_contexts[k], cand.architecture);
           cand.estimated_cycles += est.estimated_cycles();
@@ -123,27 +136,33 @@ ExplorationResult Explorer::explore(
       [](const Candidate& c) { return c.estimated_time_ns; },
       config_.pareto_epsilon);
   for (std::size_t f : front) result.candidates[alive[f]].pareto = true;
+  return prep;
+}
+
+ExplorationResult Explorer::explore(
+    const std::vector<kernels::Workload>& domain) const {
+  PreparedExploration prep = prepare(domain);
+  ExplorationResult result = std::move(prep.result);
 
   // Step 5: exact evaluation of the Pareto points.
+  const sched::ContextScheduler scheduler;
   for (Candidate& cand : result.candidates) {
     if (!cand.pareto) continue;
-    cand.evaluated = true;
-    cand.exact_cycles = 0;
-    cand.total_stalls = 0;
-    for (const sched::PlacedProgram& program : programs) {
-      const sched::PerfPoint p =
-          sched::measure(scheduler, program, cand.architecture);
-      cand.exact_cycles += p.cycles;
-      cand.total_stalls += p.stalls;
-    }
-    cand.exact_time_ns =
-        static_cast<double>(cand.exact_cycles) * cand.clock_ns;
+    evaluate_exact(cand, prep.programs.size(),
+                   [&](std::size_t k, const arch::Architecture& a) {
+                     return sched::measure(scheduler, prep.programs[k], a);
+                   });
     RSP_LOG(kInfo) << "pareto point " << cand.point.label() << ": area "
                    << cand.area_synthesized << " slices, time "
                    << cand.exact_time_ns << " ns";
   }
 
   // Step 6: select the optimum.
+  select_optimum(result);
+  return result;
+}
+
+void Explorer::select_optimum(ExplorationResult& result) const {
   double best_score = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < result.candidates.size(); ++i) {
     const Candidate& c = result.candidates[i];
@@ -165,7 +184,6 @@ ExplorationResult Explorer::explore(
       result.selected = static_cast<int>(i);
     }
   }
-  return result;
 }
 
 }  // namespace rsp::dse

@@ -14,13 +14,16 @@
 //      and selects the optimum under the chosen objective.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/estimate.hpp"
-#include "core/evaluator.hpp"
 #include "kernels/workload.hpp"
 #include "sched/mapper.hpp"
+#include "sched/report.hpp"
+#include "synth/synthesis.hpp"
 
 namespace rsp::dse {
 
@@ -85,6 +88,30 @@ struct ExplorationResult {
   std::vector<const Candidate*> pareto_points() const;
 };
 
+/// Steps 1–4 of the Fig. 7 flow: initial mapping, enumeration, estimation
+/// and Pareto filtering — everything up to (but excluding) exact evaluation.
+/// Exposed so alternative step-5 drivers (runtime::ParallelExplorer) can fan
+/// the expensive rescheduling out without re-deriving the cheap stages.
+struct PreparedExploration {
+  std::vector<std::string> kernel_names;       ///< domain order
+  std::vector<sched::PlacedProgram> programs;  ///< one per kernel, same order
+  /// Candidates carry estimates and `pareto` flags; exact_* fields are
+  /// still zero and `selected` is -1.
+  ExplorationResult result;
+};
+
+/// Measurement hook for `evaluate_exact`: returns the PerfPoint of placed
+/// program `program_index` on `architecture`. The serial path calls
+/// sched::measure directly; parallel paths may interpose a memo cache.
+using MeasureFn = std::function<sched::PerfPoint(
+    std::size_t program_index, const arch::Architecture& architecture)>;
+
+/// Step 5 for a single Pareto survivor: accumulates the per-kernel
+/// measurements (in program order, so the reduction is deterministic) into
+/// `cand.exact_*`. No-op precondition: `cand.pareto` should be true.
+void evaluate_exact(Candidate& cand, std::size_t program_count,
+                    const MeasureFn& measure);
+
 class Explorer {
  public:
   Explorer(arch::ArraySpec array, ExplorerConfig config = {},
@@ -92,6 +119,15 @@ class Explorer {
 
   /// Runs the full Fig. 7 refinement flow on a domain of kernels.
   ExplorationResult explore(const std::vector<kernels::Workload>& domain) const;
+
+  /// Steps 1–4 only (see PreparedExploration).
+  PreparedExploration prepare(const std::vector<kernels::Workload>& domain) const;
+
+  /// Step 6: fills `result.selected` with the best evaluated candidate
+  /// under the configured objective (-1 when none is evaluated).
+  void select_optimum(ExplorationResult& result) const;
+
+  const synth::SynthesisModel& synthesis() const { return synth_; }
 
  private:
   arch::ArraySpec array_;

@@ -1,7 +1,9 @@
 #include "kernels/registry.hpp"
 
 #include "kernels/dsp.hpp"
+#include "kernels/h264.hpp"
 #include "kernels/livermore.hpp"
+#include "kernels/matmul.hpp"
 #include "util/error.hpp"
 
 namespace rsp::kernels {
@@ -32,10 +34,29 @@ std::vector<Workload> paper_suite() {
   return out;
 }
 
+std::vector<Workload> full_catalogue() {
+  std::vector<Workload> out = paper_suite();
+  for (Workload& w : h264_suite()) out.push_back(std::move(w));
+  out.push_back(make_matmul(4));
+  return out;
+}
+
 Workload find_workload(const std::string& name) {
   for (Workload& w : paper_suite())
     if (w.name == name) return w;
   throw NotFoundError("unknown workload '" + name + "'");
+}
+
+Workload find_in_catalogue(const std::string& name) {
+  return find_in_catalogue(full_catalogue(), name);
+}
+
+const Workload& find_in_catalogue(const std::vector<Workload>& catalogue,
+                                  const std::string& name) {
+  for (const Workload& w : catalogue)
+    if (w.name == name) return w;
+  throw NotFoundError("unknown kernel '" + name +
+                      "' (run `rsp_cli list` for the catalogue)");
 }
 
 }  // namespace rsp::kernels

@@ -16,7 +16,20 @@ std::vector<Workload> dsp_suite();
 /// All nine kernels in paper order (Table 3 order).
 std::vector<Workload> paper_suite();
 
+/// Everything the toolchain ships: the paper suite, the H.264 kernels and
+/// the 4×4 matmul demo — the catalogue rsp_cli and the batch API serve.
+std::vector<Workload> full_catalogue();
+
 /// Lookup by canonical name ("Hydro", "2D-FDCT", ...). Throws NotFoundError.
 Workload find_workload(const std::string& name);
+
+/// Lookup across `full_catalogue()`. Throws NotFoundError.
+Workload find_in_catalogue(const std::string& name);
+
+/// Lookup in an already-built catalogue — callers resolving many names
+/// build `full_catalogue()` once instead of per lookup. Throws
+/// NotFoundError.
+const Workload& find_in_catalogue(const std::vector<Workload>& catalogue,
+                                  const std::string& name);
 
 }  // namespace rsp::kernels

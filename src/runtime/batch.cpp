@@ -1,0 +1,208 @@
+#include "runtime/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "core/report_json.hpp"
+#include "kernels/registry.hpp"
+#include "runtime/parallel_explorer.hpp"
+#include "sched/mapper.hpp"
+#include "util/error.hpp"
+
+namespace rsp::runtime {
+
+namespace {
+
+dse::ExplorerConfig parse_dse_config(const util::Json& request) {
+  dse::ExplorerConfig config;
+  if (!request.contains("config")) return config;
+  const util::Json& c = request.at("config");
+  if (!c.is_object())
+    throw InvalidArgumentError("'config' must be an object");
+  // Reject misspelled keys — a typo'd "objetive" silently running the
+  // default objective would look like a successful exploration.
+  static const std::vector<std::string> known = {
+      "max_units_per_row", "max_units_per_col", "max_stages",
+      "max_area_ratio",    "max_time_ratio",    "pareto_epsilon",
+      "objective"};
+  for (const std::string& key : c.keys())
+    if (std::find(known.begin(), known.end(), key) == known.end())
+      throw InvalidArgumentError("unknown config key '" + key + "'");
+  const auto int_field = [&](const char* key, int fallback) {
+    if (!c.contains(key)) return fallback;
+    const double value = c.at(key).as_number();
+    // Range check before the cast (out-of-range double→int is UB), then
+    // integrality — {"max_stages": 3.7} must fail, not explore with 3.
+    if (!(value >= -2147483648.0 && value <= 2147483647.0) ||
+        value != static_cast<double>(static_cast<int>(value)))
+      throw InvalidArgumentError("config key '" + std::string(key) +
+                                 "' must be an integer");
+    return static_cast<int>(value);
+  };
+  const auto num_field = [&](const char* key, double fallback) {
+    return c.contains(key) ? c.at(key).as_number() : fallback;
+  };
+  config.max_units_per_row =
+      int_field("max_units_per_row", config.max_units_per_row);
+  config.max_units_per_col =
+      int_field("max_units_per_col", config.max_units_per_col);
+  config.max_stages = int_field("max_stages", config.max_stages);
+  config.max_area_ratio = num_field("max_area_ratio", config.max_area_ratio);
+  config.max_time_ratio = num_field("max_time_ratio", config.max_time_ratio);
+  config.pareto_epsilon = num_field("pareto_epsilon", config.pareto_epsilon);
+  if (c.contains("objective")) {
+    const std::string& objective = c.at("objective").as_string();
+    if (objective == "min_time")
+      config.objective = dse::Objective::kMinTime;
+    else if (objective == "min_area")
+      config.objective = dse::Objective::kMinArea;
+    else if (objective == "min_area_time")
+      config.objective = dse::Objective::kMinAreaTimeProduct;
+    else
+      throw InvalidArgumentError("unknown objective '" + objective + "'");
+  }
+  return config;
+}
+
+util::Json run_eval_request(const util::Json& request,
+                            const std::vector<kernels::Workload>& catalogue,
+                            const RuntimeOptions& runtime) {
+  const std::string& kernel = request.at("kernel").as_string();
+  const kernels::Workload& w = kernels::find_in_catalogue(catalogue, kernel);
+  const sched::LoopPipeliner mapper(w.array);
+  const ParallelExplorer evaluator(w.array, {}, synth::SynthesisModel(),
+                                   runtime);
+  const std::vector<core::EvalResult> rows = evaluator.evaluate_suite(
+      w.name, mapper.map(w.kernel, w.hints, w.reduction),
+      arch::standard_suite(w.array.rows, w.array.cols));
+  util::Json out = util::Json::object();
+  out.set("op", "eval").set("ok", true);
+  out.set("report", core::to_json(w.name, rows));
+  return out;
+}
+
+util::Json run_dse_request(const util::Json& request,
+                           const std::vector<kernels::Workload>& catalogue,
+                           const RuntimeOptions& runtime) {
+  std::vector<kernels::Workload> domain;
+  util::Json kernel_names = util::Json::array();
+  if (request.contains("kernels")) {
+    const util::Json& names = request.at("kernels");
+    if (!names.is_array() || names.size() == 0)
+      throw InvalidArgumentError("'kernels' must be a non-empty array");
+    for (std::size_t i = 0; i < names.size(); ++i)
+      domain.push_back(
+          kernels::find_in_catalogue(catalogue, names.at(i).as_string()));
+  } else {
+    // Default domain: one paper_suite() build per request. Unlike the
+    // per-name lookups above, this is a single construction dominated by
+    // the exploration that follows, so no catalogue reuse is needed.
+    domain = kernels::paper_suite();
+  }
+  for (const kernels::Workload& w : domain) kernel_names.push(w.name);
+
+  const ParallelExplorer explorer(domain.front().array,
+                                  parse_dse_config(request),
+                                  synth::SynthesisModel(), runtime);
+  const dse::ExplorationResult result = explorer.explore(domain);
+
+  util::Json pareto = util::Json::array();
+  for (const dse::Candidate* c : result.pareto_points())
+    pareto.push(c->point.label());
+  util::Json base = util::Json::object();
+  base.set("area_slices", result.base_area)
+      .set("cycles", static_cast<std::int64_t>(result.base_cycles))
+      .set("time_ns", result.base_time_ns);
+
+  util::Json out = util::Json::object();
+  out.set("op", "dse").set("ok", true);
+  out.set("kernels", std::move(kernel_names));
+  out.set("candidates", static_cast<std::int64_t>(result.candidates.size()));
+  out.set("pareto", std::move(pareto));
+  out.set("base", std::move(base));
+  if (result.selected >= 0) {
+    const dse::Candidate& best = result.best();
+    util::Json selected = util::Json::object();
+    selected.set("label", best.point.label())
+        .set("area_slices", best.area_synthesized)
+        .set("cycles", static_cast<std::int64_t>(best.exact_cycles))
+        .set("time_ns", best.exact_time_ns)
+        .set("stalls", static_cast<std::int64_t>(best.total_stalls));
+    out.set("selected", std::move(selected));
+  } else {
+    out.set("selected", util::Json());
+  }
+  return out;
+}
+
+util::Json run_request(const util::Json& request,
+                       const std::vector<kernels::Workload>& catalogue,
+                       const RuntimeOptions& runtime) {
+  if (!request.is_object())
+    throw InvalidArgumentError("request must be a JSON object");
+  const std::string& op = request.at("op").as_string();
+  if (op == "eval") return run_eval_request(request, catalogue, runtime);
+  if (op == "dse") return run_dse_request(request, catalogue, runtime);
+  throw InvalidArgumentError("unknown op '" + op +
+                             "' (expected \"eval\" or \"dse\")");
+}
+
+}  // namespace
+
+util::Json run_batch(const util::Json& requests,
+                     const BatchOptions& options) {
+  if (!requests.is_array())
+    throw InvalidArgumentError("batch input must be a JSON array of requests");
+
+  ThreadPool pool(options.threads);
+  std::shared_ptr<EvalCache> cache =
+      options.cache ? options.cache : std::make_shared<EvalCache>();
+  RuntimeOptions runtime;
+  runtime.pool = &pool;
+  runtime.cache = cache;
+  // One catalogue per batch — rebuilding every kernel DFG per lookup would
+  // be O(requests × catalogue) on the serving path.
+  const std::vector<kernels::Workload> catalogue = kernels::full_catalogue();
+  // A shared cache carries counters from earlier batches; report only this
+  // batch's activity by diffing against a snapshot.
+  const CacheStats before = cache->stats();
+
+  // Requests run in order (results are positional); each request fans its
+  // evaluation work out across the shared pool and memo cache.
+  util::Json results = util::Json::array();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    util::Json entry;
+    try {
+      entry = run_request(requests.at(i), catalogue, runtime);
+    } catch (const std::exception& e) {
+      // rsp::Error and anything else (bad_alloc on an oversized DSE space,
+      // ...): one bad request never aborts the batch.
+      entry = util::Json::object();
+      entry.set("ok", false).set("error", std::string(e.what()));
+    }
+    entry.set("request", static_cast<std::int64_t>(i));
+    results.push(std::move(entry));
+  }
+
+  const CacheStats after = cache->stats();
+  CacheStats batch_stats;
+  batch_stats.hits = after.hits - before.hits;
+  batch_stats.misses = after.misses - before.misses;
+  util::Json runtime_report = util::Json::object();
+  runtime_report.set("threads", pool.thread_count())
+      .set("requests", static_cast<std::int64_t>(requests.size()))
+      .set("cache_hits", static_cast<std::int64_t>(batch_stats.hits))
+      .set("cache_misses", static_cast<std::int64_t>(batch_stats.misses))
+      .set("cache_entries_total", static_cast<std::int64_t>(after.entries))
+      .set("cache_hit_rate", batch_stats.hit_rate());
+
+  util::Json out = util::Json::object();
+  out.set("results", std::move(results));
+  out.set("runtime", std::move(runtime_report));
+  return out;
+}
+
+}  // namespace rsp::runtime

@@ -1,0 +1,45 @@
+// Batch request API: one JSON document in, one JSON document out.
+//
+// The input is an array of request objects:
+//
+//   {"op": "eval", "kernel": "SAD"}
+//       Tables-4/5-style evaluation of one kernel over the standard
+//       architecture suite (Base, RS#1..4, RSP#1..4).
+//
+//   {"op": "dse", "kernels": ["SAD", "MVM"], "config": {...}}
+//       Fig. 7 design space exploration over the named kernels (all nine
+//       paper kernels when "kernels" is omitted). "config" may override
+//       max_units_per_row, max_units_per_col, max_stages, max_area_ratio,
+//       max_time_ratio, pareto_epsilon and objective ("min_time",
+//       "min_area", "min_area_time").
+//
+// Requests are processed in order; each one fans its evaluation work out
+// over a shared thread pool and a shared EvalCache, so repeated kernels or
+// design points across requests are measured once. A malformed request
+// yields {"ok": false, "error": ...} in its result slot without aborting
+// the batch. The response carries per-request results plus runtime
+// statistics (thread count, cache hits/misses).
+#pragma once
+
+#include <memory>
+
+#include "runtime/eval_cache.hpp"
+#include "util/json.hpp"
+
+namespace rsp::runtime {
+
+struct BatchOptions {
+  /// Worker threads for the shared pool; 0 = hardware count.
+  int threads = 0;
+  /// Shared memo table; created internally when null. Pass one in to keep
+  /// cache state warm across run_batch calls in the same process.
+  std::shared_ptr<EvalCache> cache;
+};
+
+/// Executes a batch of requests. Throws InvalidArgumentError when
+/// `requests` is not a JSON array; individual request failures are
+/// reported in-band.
+util::Json run_batch(const util::Json& requests,
+                     const BatchOptions& options = {});
+
+}  // namespace rsp::runtime

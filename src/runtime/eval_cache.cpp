@@ -1,0 +1,170 @@
+#include "runtime/eval_cache.hpp"
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace rsp::runtime {
+
+EvalCache::EvalCache(std::size_t shards) : shards_(shards) {
+  if (shards == 0)
+    throw InvalidArgumentError("EvalCache requires at least one shard");
+}
+
+std::string EvalCache::program_tag(const sched::PlacedProgram& program) {
+  // Hash of the program fields the scheduler reads. Byte-view hashing is
+  // endianness-dependent, which is fine for an in-memory memo table — the
+  // key only needs to be stable within one process.
+  std::uint64_t h = util::kFnvOffsetBasis;
+  const auto mix = [&h](std::int64_t v) {
+    h = util::fnv1a(
+        std::string_view(reinterpret_cast<const char*>(&v), sizeof v), h);
+  };
+  for (const sched::ProgramOp& op : program.ops()) {
+    mix(static_cast<std::int64_t>(op.kind));
+    mix(op.pe.row);
+    mix(op.pe.col);
+    mix(op.priority);
+    mix(op.imm);
+    mix(op.address);
+    mix(op.not_before);
+    // Variable-length sections are length-prefixed so, e.g., an operand
+    // list {5, 0} and an order_deps list [5, 0] cannot alias.
+    mix(static_cast<std::int64_t>(op.array.size()));
+    h = util::fnv1a(op.array, h);
+    mix(static_cast<std::int64_t>(op.operands.size()));
+    for (const sched::ProgOperand& operand : op.operands) {
+      mix(operand.producer);
+      mix(operand.imm);
+    }
+    mix(static_cast<std::int64_t>(op.order_deps.size()));
+    for (const sched::ProgIndex dep : op.order_deps) mix(dep);
+  }
+  return std::to_string(h);
+}
+
+std::string EvalCache::key(const std::string& kernel_id,
+                           const std::string& program_tag,
+                           const arch::Architecture& a) {
+  // Canonical, human-readable fingerprint. Every field the scheduler or
+  // clock model reads is included; cosmetic fields (the name) are not.
+  std::string k = kernel_id;
+  k += '#';
+  k += program_tag;
+  k += '|';
+  k += std::to_string(a.array.rows) + 'x' + std::to_string(a.array.cols);
+  k += ";rb" + std::to_string(a.array.read_buses_per_row);
+  k += ";wb" + std::to_string(a.array.write_buses_per_row);
+  k += ";dw" + std::to_string(a.array.data_width_bits);
+  k += ";pe";
+  k += a.pe.has_multiplier ? 'm' : '-';
+  k += a.pe.has_bus_switch ? 's' : '-';
+  k += a.pe.has_pipeline_regs ? 'p' : '-';
+  k += ";res" + std::to_string(static_cast<int>(a.sharing.resource));
+  k += ";shr" + std::to_string(a.sharing.units_per_row);
+  k += ";shc" + std::to_string(a.sharing.units_per_col);
+  k += ";st" + std::to_string(a.sharing.pipeline_stages);
+  return k;
+}
+
+EvalCache::Shard& EvalCache::shard_for(const std::string& key) {
+  // mix64 on top of FNV-1a: near-identical keys (consecutive shr/shc/stage
+  // fingerprints) must not cluster on one shard.
+  return shards_[util::mix64(util::fnv1a(key)) % shards_.size()];
+}
+
+const EvalCache::Shard& EvalCache::shard_for(const std::string& key) const {
+  return shards_[util::mix64(util::fnv1a(key)) % shards_.size()];
+}
+
+std::optional<EvalRecord> EvalCache::lookup(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void EvalCache::insert(const std::string& key, const EvalRecord& record) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.map[key] = record;  // last writer wins; records are deterministic
+}
+
+EvalRecord EvalCache::get_or_compute(
+    const std::string& key, const std::function<EvalRecord()>& compute) {
+  Shard& shard = shard_for(key);
+  std::uint64_t ticket = 0;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    ticket = ++shard.next_ticket;
+    shard.pending[key] = ticket;
+  }
+  const auto drop_ticket = [&] {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.pending.find(key);
+    if (it != shard.pending.end() && it->second == ticket)
+      shard.pending.erase(it);
+  };
+  EvalRecord record;
+  try {
+    record = compute();  // slow path, outside the lock
+  } catch (...) {
+    drop_ticket();
+    throw;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    // Publish only if this key's compute was not superseded: an
+    // invalidation dropped the ticket (the key must stay gone) or a later
+    // compute of the same key replaced it (that one publishes instead).
+    const auto it = shard.pending.find(key);
+    if (it != shard.pending.end() && it->second == ticket) {
+      shard.map[key] = record;
+      shard.pending.erase(it);
+    }
+  }
+  return record;
+}
+
+bool EvalCache::invalidate(const std::string& key) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const bool erased = shard.map.erase(key) > 0;
+  // Also cancel any in-flight compute of this key: its result was derived
+  // before the invalidation and must not be published afterwards.
+  shard.pending.erase(key);
+  if (erased) invalidations_.fetch_add(1, std::memory_order_relaxed);
+  return erased;
+}
+
+void EvalCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.map.clear();
+    shard.pending.clear();
+  }
+}
+
+CacheStats EvalCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    s.entries += shard.map.size();
+  }
+  return s;
+}
+
+}  // namespace rsp::runtime

@@ -1,0 +1,121 @@
+// Sharded memo table for (kernel, architecture) evaluation results.
+//
+// Re-mapping and re-scheduling the same kernel on the same architecture is
+// the dominant cost of exact evaluation, and both the DSE loop and batch
+// serving repeat identical pairs constantly. The cache keys entries by a
+// canonical fingerprint string: architecture parameters are spelled out in
+// full, the program dimension is a 64-bit content hash — distinct mappings
+// collide only with ~2^-64 probability, not never (a persisted
+// cross-process cache would need the full program content in the key). The
+// full key string is stored and compared, so the shard-picking hash adds
+// no further collision risk. The table is striped over independently
+// locked shards so worker threads rarely contend, and hit/miss counters
+// feed the runtime reports.
+//
+// Scheduling is deterministic, so two threads racing to compute the same
+// key insert identical records; the race is benign and lock-free readers
+// are never exposed to partial values (all reads go through the shard
+// mutex).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "sched/program.hpp"
+
+namespace rsp::runtime {
+
+/// Everything the runtime memoizes per (kernel, architecture) pair. All
+/// fields come from the same single schedule (core::measure_perf), so an
+/// entry written by the DSE path serves the suite-evaluation path and
+/// vice versa.
+struct EvalRecord {
+  int cycles = 0;
+  int stalls = 0;
+  int nostall_cycles = 0;
+  int max_critical_issues = 0;
+
+  bool operator==(const EvalRecord&) const = default;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t entries = 0;
+  std::uint64_t invalidations = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class EvalCache {
+ public:
+  explicit EvalCache(std::size_t shards = 16);
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  /// Fingerprint of a placed program's scheduling-relevant content. It
+  /// closes the alias trap where one kernel id is paired with two
+  /// different mappings (e.g. changed hints) against a warm shared cache.
+  /// Hashing is O(program) — compute once per program and reuse the tag
+  /// across key() calls, not once per lookup.
+  static std::string program_tag(const sched::PlacedProgram& program);
+
+  /// Canonical cache key: kernel identifier + `program_tag` + the
+  /// architecture parameters that influence scheduling. Architecture
+  /// *names* are excluded so a preset ("RSP#2") and an
+  /// identically-parameterised custom design share one entry.
+  static std::string key(const std::string& kernel_id,
+                         const std::string& program_tag,
+                         const arch::Architecture& architecture);
+
+  std::optional<EvalRecord> lookup(const std::string& key) const;
+  void insert(const std::string& key, const EvalRecord& record);
+
+  /// lookup, or run `compute` and insert its result. `compute` runs outside
+  /// any shard lock (it reschedules kernels — far too slow to serialize),
+  /// and the result is published only if this key was not invalidated
+  /// meanwhile — an entry invalidated mid-compute stays invalidated, and
+  /// invalidations of *other* keys do not block the publish.
+  EvalRecord get_or_compute(const std::string& key,
+                            const std::function<EvalRecord()>& compute);
+
+  /// Removes one entry; returns whether it existed. A subsequent lookup
+  /// misses and recomputes — stale values are never served.
+  bool invalidate(const std::string& key);
+  void clear();
+
+  CacheStats stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, EvalRecord> map;
+    /// In-flight computes: key → ticket of the compute allowed to publish.
+    /// invalidate/clear drop the ticket, so a mid-compute invalidation
+    /// suppresses exactly that key's publish and nothing else.
+    std::unordered_map<std::string, std::uint64_t> pending;
+    std::uint64_t next_ticket = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  std::vector<Shard> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
+};
+
+}  // namespace rsp::runtime

@@ -1,0 +1,76 @@
+// Parallel drivers for the two expensive evaluation loops:
+//
+//   * dse::Explorer's step 5 (exact rescheduling of every Pareto survivor
+//     on every kernel), fanned out one task per (survivor, kernel) pair;
+//   * core::RspEvaluator::evaluate_suite, fanned out one task per
+//     architecture.
+//
+// Results are **bit-identical** to the serial paths: each task computes an
+// independent (program, architecture) measurement with the same
+// deterministic scheduler, and the reductions (per-candidate cycle sums,
+// the delay-reduction column, optimum selection) happen after the join in
+// the serial iteration order. Task *submission* order is shuffled with a
+// deterministic per-run util::Rng stream purely to spread early tasks
+// across cache shards; it cannot affect any result.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "dse/explorer.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rsp::runtime {
+
+struct RuntimeOptions {
+  /// Worker threads when no external pool is supplied; 0 = hardware count.
+  int threads = 0;
+  /// External pool to run on (non-owning). nullptr = a private pool is
+  /// created per call. Sharing one pool avoids thread churn when serving
+  /// many requests per process (see runtime::run_batch).
+  ThreadPool* pool = nullptr;
+  /// Memo table consulted before any rescheduling. nullptr = no caching.
+  std::shared_ptr<EvalCache> cache;
+};
+
+/// The parallel step 5: exact-evaluates every Pareto survivor in `result`
+/// across `pool`, one task per (survivor, kernel), memoized through
+/// `cache` when non-null. `programs`/`kernel_names` come from
+/// dse::Explorer::prepare. This is the exact fan-out ParallelExplorer
+/// runs; it is exposed so benches measure the production code path.
+void evaluate_pareto_exact(const std::vector<sched::PlacedProgram>& programs,
+                           const std::vector<std::string>& kernel_names,
+                           dse::ExplorationResult& result, ThreadPool& pool,
+                           EvalCache* cache);
+
+class ParallelExplorer {
+ public:
+  explicit ParallelExplorer(arch::ArraySpec array,
+                            dse::ExplorerConfig config = {},
+                            synth::SynthesisModel synth =
+                                synth::SynthesisModel(),
+                            RuntimeOptions options = {});
+
+  /// The full Fig. 7 flow with step 5 parallelized; bit-identical to
+  /// dse::Explorer::explore on the same inputs.
+  dse::ExplorationResult explore(
+      const std::vector<kernels::Workload>& domain) const;
+
+  /// Parallel counterpart of core::RspEvaluator::evaluate_suite;
+  /// bit-identical to the serial path. `kernel_id` names the program in
+  /// cache keys (use the workload name).
+  std::vector<core::EvalResult> evaluate_suite(
+      const std::string& kernel_id, const sched::PlacedProgram& program,
+      const std::vector<arch::Architecture>& suite) const;
+
+  const RuntimeOptions& options() const { return options_; }
+
+ private:
+  dse::Explorer explorer_;
+  RuntimeOptions options_;
+};
+
+}  // namespace rsp::runtime

@@ -16,8 +16,15 @@ ScheduleStats stats_of(const ConfigurationContext& context) {
 PerfPoint measure(const ContextScheduler& scheduler,
                   const PlacedProgram& program,
                   const arch::Architecture& architecture) {
+  return measure(scheduler, program, architecture,
+                 scheduler.schedule(program, architecture));
+}
+
+PerfPoint measure(const ContextScheduler& scheduler,
+                  const PlacedProgram& program,
+                  const arch::Architecture& architecture,
+                  const ConfigurationContext& real) {
   PerfPoint p;
-  const ConfigurationContext real = scheduler.schedule(program, architecture);
   p.cycles = real.length();
   if (!architecture.shares_multiplier()) {
     p.nostall_cycles = p.cycles;

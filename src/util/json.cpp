@@ -61,6 +61,15 @@ bool Json::contains(const std::string& key) const {
   return false;
 }
 
+std::vector<std::string> Json::keys() const {
+  if (kind_ != Kind::kObject)
+    throw InvalidArgumentError("keys() requires a JSON object");
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const auto& [k, v] : fields_) out.push_back(k);
+  return out;
+}
+
 const Json& Json::at(const std::string& key) const {
   if (kind_ != Kind::kObject)
     throw InvalidArgumentError("at(key) requires a JSON object");

@@ -57,6 +57,9 @@ class Json {
 
   /// True when this is an object with a field named `key`.
   bool contains(const std::string& key) const;
+  /// Field names of an object in insertion order; throws
+  /// InvalidArgumentError when this is not an object.
+  std::vector<std::string> keys() const;
   /// Object field lookup; throws NotFoundError for a missing key and
   /// InvalidArgumentError when this is not an object.
   const Json& at(const std::string& key) const;

@@ -7,6 +7,12 @@ namespace rsp::util {
 
 namespace {
 
+// One mutex guards the sink, the threshold and every emission. Sink
+// invocation deliberately happens *under* the lock: records from runtime
+// worker threads arrive at the sink whole and in a single global order,
+// and a sink swapped out by set_log_sink can never be entered again after
+// the swap returns. The contract (documented on LogSink) is that sinks
+// must not call back into the logger.
 std::mutex g_mutex;
 LogLevel g_threshold = LogLevel::kWarning;
 

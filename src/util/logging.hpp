@@ -14,6 +14,10 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 const char* to_string(LogLevel level);
 
 /// Sink invoked for every emitted record at or above the threshold.
+/// All logging state is mutex-guarded, so any thread (the evaluation
+/// runtime's workers included) may log concurrently; the sink runs under
+/// the logger's lock and therefore sees one whole record at a time, in a
+/// single global order. Sinks must not call back into the logger.
 using LogSink = std::function<void(LogLevel, const std::string&)>;
 
 /// Replaces the process-wide sink; returns the previous one.

@@ -73,5 +73,32 @@ TEST(CliJson, UnknownKernelFailsNonzero) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(CliJson, UnknownEvalFlagFailsNonzero) {
+  const CliResult r = run_cli("eval SAD --verbose 2>/dev/null");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(CliJson, BatchTwoRequestFileRoundTrips) {
+  const CliResult r =
+      run_cli("batch " RSP_TEST_DATA_DIR "/batch_requests.json --threads 2");
+  ASSERT_EQ(r.exit_code, 0);
+  ASSERT_FALSE(r.stdout_text.empty());
+
+  // The acceptance gate: the batch output is one valid JSON document that
+  // round-trips through util::Json.
+  const util::Json response = util::Json::parse(r.stdout_text);
+  EXPECT_EQ(util::Json::parse(response.dump()).dump(), response.dump());
+
+  const util::Json& results = response.at("results");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results.at(0).at("ok").as_bool());
+  EXPECT_EQ(results.at(0).at("report").at("kernel").as_string(), "SAD");
+  EXPECT_TRUE(results.at(1).at("ok").as_bool());
+  EXPECT_EQ(results.at(1).at("selected").at("label").as_string(), "1r/p2");
+  const util::Json& runtime = response.at("runtime");
+  EXPECT_EQ(runtime.at("threads").as_number(), 2);
+  EXPECT_GT(runtime.at("cache_hits").as_number(), 0);
+}
+
 }  // namespace
 }  // namespace rsp

@@ -31,6 +31,8 @@ TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
   j.set("b", 1).set("a", 2).set("b", 3);
   EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
   EXPECT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.keys(), (std::vector<std::string>{"b", "a"}));
+  EXPECT_THROW(util::Json::array().keys(), rsp::InvalidArgumentError);
 }
 
 TEST(Json, ArraysAndNesting) {

@@ -1,0 +1,501 @@
+// The parallel evaluation runtime: thread pool semantics, memo-cache
+// correctness (including invalidation), bit-identical parallel/serial
+// agreement on the paper workload, the batch request API, and thread-safe
+// logging under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "core/evaluator.hpp"
+#include "dse/explorer.hpp"
+#include "kernels/registry.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/parallel_explorer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/mapper.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rsp::runtime {
+namespace {
+
+// ------------------------------------------------------------- thread pool
+TEST(ThreadPool, DrainsAllTasksOnDestruction) {
+  std::atomic<int> completed{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i)
+      pool.submit([&completed] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        completed.fetch_add(1);
+      });
+    // Destruction must wait for every queued task, not just running ones.
+  }
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(ThreadPool, FuturesDeliverValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, FuturesPropagateExceptions) {
+  ThreadPool pool(1);
+  std::future<void> f =
+      pool.submit([] { throw InvalidArgumentError("task failed"); });
+  EXPECT_THROW(f.get(), InvalidArgumentError);
+}
+
+TEST(ThreadPool, RejectsNegativeThreadCount) {
+  EXPECT_THROW(ThreadPool(-1), InvalidArgumentError);
+}
+
+TEST(ThreadPool, ZeroPicksHardwareDefault) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), ThreadPool::default_thread_count());
+  EXPECT_GE(pool.thread_count(), 1);
+}
+
+TEST(ThreadPool, TaskRngStreamsAreDeterministicPerIndex) {
+  util::Rng a = task_rng(7), b = task_rng(7), c = task_rng(8);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+// ------------------------------------------------------------- eval cache
+TEST(EvalCache, MissThenHitWithStats) {
+  EvalCache cache(4);
+  const std::string key = "SAD|rsp2";
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  int computed = 0;
+  const auto compute = [&computed] {
+    ++computed;
+    EvalRecord r;
+    r.cycles = 42;
+    r.stalls = 3;
+    return r;
+  };
+  const EvalRecord first = cache.get_or_compute(key, compute);
+  const EvalRecord again = cache.get_or_compute(key, compute);
+  EXPECT_EQ(computed, 1);  // second call served from the cache
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(again.cycles, 42);
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);  // explicit lookup + get_or_compute miss
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.hit_rate(), 0.0);
+}
+
+// A minimal placed program for key-composition checks.
+sched::PlacedProgram tiny_program(std::int64_t priority) {
+  sched::PlacedProgram program((arch::ArraySpec()));
+  sched::ProgramOp op;
+  op.kind = ir::OpKind::kNop;
+  op.priority = priority;
+  program.add(op);
+  return program;
+}
+
+TEST(EvalCache, KeyIgnoresCosmeticNameButNotParameters) {
+  const arch::Architecture rsp2 = arch::rsp_architecture(2);
+  arch::Architecture renamed = rsp2;
+  renamed.name = "same-params-different-name";
+  const std::string tag = EvalCache::program_tag(tiny_program(0));
+  EXPECT_EQ(EvalCache::key("SAD", tag, rsp2),
+            EvalCache::key("SAD", tag, renamed));
+  EXPECT_NE(EvalCache::key("SAD", tag, rsp2),
+            EvalCache::key("SAD", tag, arch::rs_architecture(2)));
+  EXPECT_NE(EvalCache::key("SAD", tag, rsp2),
+            EvalCache::key("MVM", tag, rsp2));
+  // Same kernel id, different mapping: must not alias one cache entry.
+  EXPECT_NE(EvalCache::key("SAD", tag, rsp2),
+            EvalCache::key("SAD", EvalCache::program_tag(tiny_program(1)),
+                           rsp2));
+}
+
+TEST(EvalCache, InvalidationNeverServesStaleEntries) {
+  EvalCache cache;
+  const std::string key = "SAD|base";
+  EvalRecord stale;
+  stale.cycles = 1;
+  cache.insert(key, stale);
+  ASSERT_TRUE(cache.lookup(key).has_value());
+
+  EXPECT_TRUE(cache.invalidate(key));
+  EXPECT_FALSE(cache.invalidate(key));  // already gone
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  EvalRecord fresh;
+  fresh.cycles = 2;
+  const EvalRecord served =
+      cache.get_or_compute(key, [&fresh] { return fresh; });
+  EXPECT_EQ(served.cycles, 2);  // recomputed, not the stale value
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+}
+
+TEST(EvalCache, InvalidationDuringComputeIsNotResurrected) {
+  EvalCache cache;
+  const std::string key = "SAD|base";
+  EvalRecord computed;
+  computed.cycles = 7;
+  // The compute callback races an invalidation: the result may be
+  // *returned* but must not be *published* over the invalidation.
+  const EvalRecord served = cache.get_or_compute(key, [&] {
+    cache.invalidate(key);  // cancels this in-flight compute's publish
+    return computed;
+  });
+  EXPECT_EQ(served.cycles, 7);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+}
+
+TEST(EvalCache, InvalidatingAnotherKeyDoesNotSuppressPublish) {
+  EvalCache cache(1);  // one shard, so both keys share it
+  const std::string key = "SAD|base";
+  const std::string other = "MVM|base";
+  EvalRecord computed;
+  computed.cycles = 5;
+  cache.get_or_compute(key, [&] {
+    cache.invalidate(other);  // unrelated key: must not cancel this publish
+    return computed;
+  });
+  EXPECT_TRUE(cache.lookup(key).has_value());
+}
+
+TEST(EvalCache, ClearEmptiesEveryShard) {
+  EvalCache cache(8);
+  for (int v = 1; v <= 4; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    cache.insert("k" + std::to_string(v), r);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(EvalCache, ConcurrentGetOrComputeYieldsOneConsistentValue) {
+  EvalCache cache(2);  // few shards → real contention
+  ThreadPool pool(4);
+  std::vector<std::future<EvalRecord>> futures;
+  for (int i = 0; i < 64; ++i)
+    futures.push_back(pool.submit([&cache, i] {
+      const std::string key = "k" + std::to_string(i % 8);
+      return cache.get_or_compute(key, [i] {
+        EvalRecord r;
+        r.cycles = (i % 8) + 1;  // deterministic per key
+        return r;
+      });
+    }));
+  for (int i = 0; i < 64; ++i)
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get().cycles, (i % 8) + 1);
+  EXPECT_EQ(cache.stats().entries, 8u);
+}
+
+// ------------------------------------------------- parallel vs serial DSE
+void expect_bit_identical(const dse::ExplorationResult& serial,
+                          const dse::ExplorationResult& parallel) {
+  EXPECT_EQ(serial.selected, parallel.selected);
+  EXPECT_EQ(serial.base_cycles, parallel.base_cycles);
+  EXPECT_EQ(serial.base_area, parallel.base_area);
+  EXPECT_EQ(serial.base_time_ns, parallel.base_time_ns);
+  ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+  for (std::size_t i = 0; i < serial.candidates.size(); ++i) {
+    const dse::Candidate& s = serial.candidates[i];
+    const dse::Candidate& p = parallel.candidates[i];
+    EXPECT_EQ(s.point.label(), p.point.label());
+    EXPECT_EQ(s.rejected, p.rejected);
+    EXPECT_EQ(s.pareto, p.pareto);
+    EXPECT_EQ(s.evaluated, p.evaluated);
+    EXPECT_EQ(s.exact_cycles, p.exact_cycles) << s.point.label();
+    EXPECT_EQ(s.total_stalls, p.total_stalls) << s.point.label();
+    // Bitwise double equality is intended: the parallel reduction must
+    // replay the serial accumulation order exactly.
+    EXPECT_EQ(s.exact_time_ns, p.exact_time_ns) << s.point.label();
+    EXPECT_EQ(s.estimated_time_ns, p.estimated_time_ns) << s.point.label();
+    EXPECT_EQ(s.area_estimate, p.area_estimate) << s.point.label();
+  }
+}
+
+TEST(ParallelExplorer, BitIdenticalToSerialOnPaperWorkload) {
+  // The acceptance gate: serial Fig. 7 and the 4-thread runtime must agree
+  // on every candidate and select the same optimum design point.
+  const std::vector<kernels::Workload> domain = kernels::paper_suite();
+  const dse::ExplorerConfig config;  // full default enumeration
+
+  const dse::Explorer serial(arch::ArraySpec{}, config);
+  const dse::ExplorationResult serial_result = serial.explore(domain);
+
+  RuntimeOptions options;
+  options.threads = 4;
+  options.cache = std::make_shared<EvalCache>();
+  const ParallelExplorer parallel(arch::ArraySpec{}, config,
+                                  synth::SynthesisModel(), options);
+  const dse::ExplorationResult parallel_result = parallel.explore(domain);
+
+  expect_bit_identical(serial_result, parallel_result);
+  ASSERT_GE(parallel_result.selected, 0);
+  EXPECT_EQ(serial_result.best().point.label(),
+            parallel_result.best().point.label());
+}
+
+TEST(ParallelExplorer, RepeatedExplorationServedFromCache) {
+  const std::vector<kernels::Workload> domain = kernels::dsp_suite();
+  dse::ExplorerConfig config;
+  config.max_units_per_row = 2;
+  config.max_units_per_col = 1;
+  config.max_stages = 2;
+
+  RuntimeOptions options;
+  options.threads = 2;
+  options.cache = std::make_shared<EvalCache>();
+  const ParallelExplorer explorer(arch::ArraySpec{}, config,
+                                  synth::SynthesisModel(), options);
+
+  const dse::ExplorationResult first = explorer.explore(domain);
+  const CacheStats after_first = options.cache->stats();
+  EXPECT_EQ(after_first.hits, 0u);
+  EXPECT_GT(after_first.entries, 0u);
+
+  const dse::ExplorationResult second = explorer.explore(domain);
+  const CacheStats after_second = options.cache->stats();
+  EXPECT_EQ(after_second.hits, after_first.entries);  // every pair reused
+  EXPECT_EQ(after_second.entries, after_first.entries);
+  expect_bit_identical(first, second);
+}
+
+TEST(ParallelExplorer, WorksWithoutCacheAndWithExternalPool) {
+  const std::vector<kernels::Workload> domain = {
+      kernels::find_workload("SAD")};
+  dse::ExplorerConfig config;
+  config.max_units_per_row = 1;
+  config.max_units_per_col = 0;
+  config.max_stages = 2;
+
+  ThreadPool pool(2);
+  RuntimeOptions options;
+  options.pool = &pool;  // no cache
+  const ParallelExplorer parallel(arch::ArraySpec{}, config,
+                                  synth::SynthesisModel(), options);
+  const dse::Explorer serial(arch::ArraySpec{}, config);
+  expect_bit_identical(serial.explore(domain), parallel.explore(domain));
+}
+
+// ------------------------------------------------------ parallel suite eval
+TEST(ParallelExplorer, EvaluateSuiteMatchesSerialEvaluator) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::PlacedProgram program =
+      mapper.map(w.kernel, w.hints, w.reduction);
+  const std::vector<arch::Architecture> suite =
+      arch::standard_suite(w.array.rows, w.array.cols);
+
+  const core::RspEvaluator serial;
+  const std::vector<core::EvalResult> expected =
+      serial.evaluate_suite(program, suite);
+
+  RuntimeOptions options;
+  options.threads = 4;
+  options.cache = std::make_shared<EvalCache>();
+  const ParallelExplorer runtime(w.array, {}, synth::SynthesisModel(),
+                                 options);
+  // Twice: the second pass is served from the cache and must not drift.
+  for (int round = 0; round < 2; ++round) {
+    const std::vector<core::EvalResult> actual =
+        runtime.evaluate_suite(w.name, program, suite);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].arch_name, expected[i].arch_name);
+      EXPECT_EQ(actual[i].cycles, expected[i].cycles);
+      EXPECT_EQ(actual[i].stalls, expected[i].stalls);
+      EXPECT_EQ(actual[i].clock_ns, expected[i].clock_ns);
+      EXPECT_EQ(actual[i].execution_time_ns, expected[i].execution_time_ns);
+      EXPECT_EQ(actual[i].delay_reduction_percent,
+                expected[i].delay_reduction_percent);
+      EXPECT_EQ(actual[i].max_mults_per_cycle,
+                expected[i].max_mults_per_cycle);
+    }
+  }
+  EXPECT_GT(options.cache->stats().hits, 0u);
+}
+
+TEST(ParallelExplorer, EvaluateSuiteRejectsEmptySuite) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::LoopPipeliner mapper(w.array);
+  const ParallelExplorer runtime(w.array);
+  EXPECT_THROW(runtime.evaluate_suite(
+                   w.name, mapper.map(w.kernel, w.hints, w.reduction), {}),
+               InvalidArgumentError);
+}
+
+// -------------------------------------------------------------- batch API
+TEST(Batch, TwoRequestFileRoundTripsThroughJson) {
+  util::Json requests = util::Json::array();
+  util::Json eval = util::Json::object();
+  eval.set("op", "eval").set("kernel", "SAD");
+  requests.push(std::move(eval));
+  util::Json dse_req = util::Json::object();
+  util::Json names = util::Json::array();
+  names.push("SAD").push("MVM");
+  util::Json config = util::Json::object();
+  config.set("max_units_per_row", 2)
+      .set("max_units_per_col", 1)
+      .set("max_stages", 2);
+  dse_req.set("op", "dse").set("kernels", std::move(names));
+  dse_req.set("config", std::move(config));
+  requests.push(std::move(dse_req));
+
+  BatchOptions options;
+  options.threads = 2;
+  const util::Json response = run_batch(requests, options);
+
+  // Valid JSON that survives a parse → dump round trip.
+  const util::Json reparsed = util::Json::parse(response.dump());
+  EXPECT_EQ(reparsed.dump(), response.dump());
+
+  const util::Json& results = response.at("results");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results.at(0).at("ok").as_bool());
+  EXPECT_EQ(results.at(0).at("op").as_string(), "eval");
+  EXPECT_EQ(results.at(0).at("report").at("kernel").as_string(), "SAD");
+  EXPECT_TRUE(results.at(1).at("ok").as_bool());
+  EXPECT_EQ(results.at(1).at("op").as_string(), "dse");
+  EXPECT_TRUE(results.at(1).at("selected").is_object());
+  EXPECT_EQ(results.at(1).at("request").as_number(), 1);
+
+  const util::Json& runtime = response.at("runtime");
+  EXPECT_EQ(runtime.at("requests").as_number(), 2);
+  EXPECT_EQ(runtime.at("threads").as_number(), 2);
+  // SAD is evaluated by request 0 and re-needed by request 1's DSE.
+  EXPECT_GT(runtime.at("cache_hits").as_number(), 0);
+}
+
+TEST(Batch, BadRequestIsReportedInBandNotFatal) {
+  util::Json requests = util::Json::array();
+  util::Json bad = util::Json::object();
+  bad.set("op", "eval").set("kernel", "no-such-kernel");
+  requests.push(std::move(bad));
+  util::Json good = util::Json::object();
+  good.set("op", "eval").set("kernel", "MVM");
+  requests.push(std::move(good));
+
+  const util::Json response = run_batch(requests);
+  const util::Json& results = response.at("results");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results.at(0).at("ok").as_bool());
+  EXPECT_FALSE(results.at(0).at("error").as_string().empty());
+  EXPECT_TRUE(results.at(1).at("ok").as_bool());
+}
+
+TEST(Batch, SharedCacheStatsAreScopedToTheBatch) {
+  util::Json requests = util::Json::array();
+  util::Json eval = util::Json::object();
+  eval.set("op", "eval").set("kernel", "MVM");
+  requests.push(std::move(eval));
+
+  BatchOptions options;
+  options.threads = 1;
+  options.cache = std::make_shared<EvalCache>();  // warm across batches
+  const util::Json first = run_batch(requests, options);
+  const util::Json second = run_batch(requests, options);
+
+  // First batch populates the shared cache (no hits); the second is served
+  // entirely warm, and its report must cover only its own activity — not
+  // the first batch's counter totals.
+  EXPECT_EQ(first.at("runtime").at("cache_hits").as_number(), 0);
+  EXPECT_GT(first.at("runtime").at("cache_misses").as_number(), 0);
+  EXPECT_EQ(second.at("runtime").at("cache_misses").as_number(), 0);
+  EXPECT_GT(second.at("runtime").at("cache_hits").as_number(), 0);
+  EXPECT_EQ(second.at("runtime").at("cache_hit_rate").as_number(), 1.0);
+}
+
+TEST(Batch, UnknownDseConfigKeyIsReportedInBand) {
+  util::Json requests = util::Json::array();
+  util::Json dse_req = util::Json::object();
+  util::Json names = util::Json::array();
+  names.push("SAD");
+  util::Json config = util::Json::object();
+  config.set("objetive", "min_area");  // typo'd "objective"
+  dse_req.set("op", "dse").set("kernels", std::move(names));
+  dse_req.set("config", std::move(config));
+  requests.push(std::move(dse_req));
+
+  const util::Json response = run_batch(requests);
+  const util::Json& result = response.at("results").at(0);
+  EXPECT_FALSE(result.at("ok").as_bool());
+  EXPECT_NE(result.at("error").as_string().find("objetive"),
+            std::string::npos);
+}
+
+TEST(Batch, NonIntegralDseConfigValueIsRejected) {
+  util::Json requests = util::Json::array();
+  util::Json dse_req = util::Json::object();
+  util::Json names = util::Json::array();
+  names.push("SAD");
+  util::Json config = util::Json::object();
+  config.set("max_stages", 3.7);
+  dse_req.set("op", "dse").set("kernels", std::move(names));
+  dse_req.set("config", std::move(config));
+  requests.push(std::move(dse_req));
+
+  const util::Json response = run_batch(requests);
+  const util::Json& result = response.at("results").at(0);
+  EXPECT_FALSE(result.at("ok").as_bool());
+  EXPECT_NE(result.at("error").as_string().find("max_stages"),
+            std::string::npos);
+}
+
+TEST(Batch, RejectsNonArrayInput) {
+  EXPECT_THROW(run_batch(util::Json::object()), InvalidArgumentError);
+  EXPECT_THROW(run_batch(util::Json("eval")), InvalidArgumentError);
+}
+
+// -------------------------------------------------- thread-safe logging
+TEST(LoggingThreads, ConcurrentEmissionIsSerializedAndLossless) {
+  std::mutex sink_mutex;
+  std::vector<std::string> lines;
+  const util::LogLevel previous_threshold = util::log_threshold();
+  util::set_log_threshold(util::LogLevel::kDebug);
+  util::LogSink previous = util::set_log_sink(
+      [&](util::LogLevel, const std::string& message) {
+        const std::lock_guard<std::mutex> lock(sink_mutex);
+        lines.push_back(message);
+      });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  {
+    ThreadPool pool(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+      pool.submit([t] {
+        for (int i = 0; i < kPerThread; ++i)
+          RSP_LOG(kDebug) << "thread " << t << " message " << i;
+      });
+  }
+
+  util::set_log_sink(std::move(previous));
+  util::set_log_threshold(previous_threshold);
+
+  ASSERT_EQ(lines.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  // Records must arrive whole: every line matches the emitted shape, with
+  // no interleaving of the two stream insertions.
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.rfind("thread ", 0), 0u) << line;
+    EXPECT_NE(line.find(" message "), std::string::npos) << line;
+  }
+}
+
+}  // namespace
+}  // namespace rsp::runtime

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "util/csv.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -145,6 +148,28 @@ TEST(Logging, SinkReceivesAboveThreshold) {
   util::set_log_threshold(util::LogLevel::kWarning);
   ASSERT_EQ(seen.size(), 1u);
   EXPECT_EQ(seen[0], "visible 42");
+}
+
+// ------------------------------------------------------------------- hash
+TEST(Hash, Fnv1aMatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(util::fnv1a(""), 14695981039346656037ull);
+  EXPECT_EQ(util::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(util::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Hash, StableAcrossCallsAndSensitiveToInput) {
+  EXPECT_EQ(util::fnv1a("SAD|8x8"), util::fnv1a("SAD|8x8"));
+  EXPECT_NE(util::fnv1a("SAD|8x8"), util::fnv1a("SAD|8x9"));
+  EXPECT_NE(util::mix64(1), util::mix64(2));
+}
+
+TEST(Hash, Mix64SpreadsConsecutiveInputsAcrossBuckets) {
+  // The shard-selection role: consecutive inputs must not cluster.
+  std::set<std::uint64_t> buckets;
+  for (std::uint64_t i = 0; i < 16; ++i)
+    buckets.insert(util::mix64(i) % 16);
+  EXPECT_GE(buckets.size(), 8u);
 }
 
 }  // namespace

@@ -5,11 +5,16 @@
 //   rsp_cli eval <kernel>             Tables-4/5-style row for one kernel
 //   rsp_cli simulate <kernel> <arch>  run on the cycle simulator, verify
 //   rsp_cli explore                   DSE over the full kernel domain
+//   rsp_cli batch <requests.json>     serve eval/dse requests over the
+//                                     parallel runtime, emit one JSON doc
 //   rsp_cli rtl <arch>                emit structural Verilog to stdout
 //   rsp_cli dot <kernel>              emit the body DFG in Graphviz format
 //   rsp_cli vcd <kernel> <arch>       emit a VCD waveform to stdout
 //   rsp_cli bitstream <kernel> <arch> report configuration bitstream size
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,10 +24,9 @@
 #include "core/report_json.hpp"
 #include "dse/explorer.hpp"
 #include "ir/dot.hpp"
-#include "kernels/h264.hpp"
-#include "kernels/matmul.hpp"
 #include "kernels/registry.hpp"
 #include "rtl/generate.hpp"
+#include "runtime/batch.hpp"
 #include "sched/legality.hpp"
 #include "sched/mapper.hpp"
 #include "sched/pretty.hpp"
@@ -35,21 +39,6 @@
 namespace {
 
 using namespace rsp;
-
-std::vector<kernels::Workload> all_workloads() {
-  std::vector<kernels::Workload> all = kernels::paper_suite();
-  for (kernels::Workload& w : kernels::h264_suite())
-    all.push_back(std::move(w));
-  all.push_back(kernels::make_matmul(4));
-  return all;
-}
-
-kernels::Workload workload_by_name(const std::string& name) {
-  for (kernels::Workload& w : all_workloads())
-    if (w.name == name) return w;
-  throw NotFoundError("unknown kernel '" + name +
-                      "' (run `rsp_cli list` for the catalogue)");
-}
 
 arch::Architecture arch_by_name(const std::string& name, int rows, int cols) {
   for (const arch::Architecture& a : arch::standard_suite(rows, cols))
@@ -70,7 +59,7 @@ sched::ConfigurationContext schedule_for(const kernels::Workload& w,
 
 int cmd_list() {
   util::Table kernels_table({"Kernel", "Iterations", "Op set", "Array"});
-  for (const kernels::Workload& w : all_workloads())
+  for (const kernels::Workload& w : kernels::full_catalogue())
     kernels_table.add_row({w.name, std::to_string(w.kernel.trip_count()),
                            w.kernel.op_set_string(),
                            std::to_string(w.array.rows) + "x" +
@@ -83,7 +72,7 @@ int cmd_list() {
 }
 
 int cmd_map(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = workload_by_name(kernel);
+  const kernels::Workload w = kernels::find_in_catalogue(kernel);
   const arch::Architecture a =
       arch_by_name(arch_name, w.array.rows, w.array.cols);
   const sched::ConfigurationContext ctx = schedule_for(w, a);
@@ -94,7 +83,7 @@ int cmd_map(const std::string& kernel, const std::string& arch_name) {
 }
 
 int cmd_eval(const std::string& kernel, bool as_json) {
-  const kernels::Workload w = workload_by_name(kernel);
+  const kernels::Workload w = kernels::find_in_catalogue(kernel);
   const core::RspEvaluator evaluator;
   const sched::LoopPipeliner mapper(w.array);
   const auto rows = evaluator.evaluate_suite(
@@ -116,7 +105,7 @@ int cmd_eval(const std::string& kernel, bool as_json) {
 }
 
 int cmd_simulate(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = workload_by_name(kernel);
+  const kernels::Workload w = kernels::find_in_catalogue(kernel);
   const arch::Architecture a =
       arch_by_name(arch_name, w.array.rows, w.array.cols);
   const sched::ConfigurationContext ctx = schedule_for(w, a);
@@ -145,18 +134,61 @@ int cmd_explore() {
   return 0;
 }
 
+int cmd_batch(const std::vector<std::string>& args) {
+  std::string path;
+  runtime::BatchOptions options;
+  bool pretty = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--pretty") {
+      pretty = true;
+    } else if (args[i] == "--threads") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--threads requires a worker count");
+      const std::string& count = args[++i];
+      try {
+        std::size_t parsed = 0;
+        options.threads = std::stoi(count, &parsed);
+        if (parsed != count.size()) throw std::invalid_argument(count);
+      } catch (const std::exception&) {
+        throw InvalidArgumentError("--threads: '" + count +
+                                   "' is not a thread count");
+      }
+      if (options.threads < 1)
+        throw InvalidArgumentError("--threads requires a positive count");
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw InvalidArgumentError("unknown flag '" + args[i] +
+                                 "' for batch (--threads N, --pretty)");
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      throw InvalidArgumentError("batch takes exactly one requests file");
+    }
+  }
+  if (path.empty())
+    throw InvalidArgumentError("batch requires a <requests.json> file");
+
+  std::ifstream file(path);
+  if (!file) throw NotFoundError("cannot open requests file '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+
+  const util::Json requests = util::Json::parse(text.str());
+  std::cout << runtime::run_batch(requests, options).dump(pretty) << "\n";
+  return 0;
+}
+
 int cmd_rtl(const std::string& arch_name) {
   std::cout << rtl::generate_verilog(arch_by_name(arch_name, 8, 8));
   return 0;
 }
 
 int cmd_dot(const std::string& kernel) {
-  std::cout << ir::to_dot(workload_by_name(kernel).kernel);
+  std::cout << ir::to_dot(kernels::find_in_catalogue(kernel).kernel);
   return 0;
 }
 
 int cmd_vcd(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = workload_by_name(kernel);
+  const kernels::Workload w = kernels::find_in_catalogue(kernel);
   const arch::Architecture a =
       arch_by_name(arch_name, w.array.rows, w.array.cols);
   const sched::ConfigurationContext ctx = schedule_for(w, a);
@@ -168,7 +200,7 @@ int cmd_vcd(const std::string& kernel, const std::string& arch_name) {
 }
 
 int cmd_bitstream(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = workload_by_name(kernel);
+  const kernels::Workload w = kernels::find_in_catalogue(kernel);
   const arch::Architecture a =
       arch_by_name(arch_name, w.array.rows, w.array.cols);
   const sched::ConfigurationContext ctx = schedule_for(w, a);
@@ -185,7 +217,8 @@ int usage() {
   std::cerr
       << "usage: rsp_cli <command> [args]\n"
          "  list | map <kernel> <arch> | eval <kernel> [--json] |\n"
-         "  simulate <kernel> <arch> | explore | rtl <arch> |\n"
+         "  simulate <kernel> <arch> | explore |\n"
+         "  batch <requests.json> [--threads N] [--pretty] | rtl <arch> |\n"
          "  dot <kernel> | vcd <kernel> <arch> | bitstream <kernel> <arch>\n";
   return 1;
 }
@@ -197,22 +230,33 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
-    if (cmd == "list") return cmd_list();
-    if (cmd == "explore") return cmd_explore();
-    if (args.size() >= 2) {
-      if (cmd == "eval")
-        return cmd_eval(args[1], args.size() > 2 && args[2] == "--json");
+    // Exact arities: trailing junk ("map SAD RSP#4 --bogus") is a usage
+    // error, not silently ignored — scripts must be able to trust rc.
+    if (cmd == "list" && args.size() == 1) return cmd_list();
+    if (cmd == "explore" && args.size() == 1) return cmd_explore();
+    if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "eval" && args.size() >= 2) {
+      bool as_json = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] != "--json")
+          throw rsp::InvalidArgumentError("unknown flag '" + args[i] +
+                                          "' for eval (only --json)");
+        as_json = true;
+      }
+      return cmd_eval(args[1], as_json);
+    }
+    if (args.size() == 2) {
       if (cmd == "rtl") return cmd_rtl(args[1]);
       if (cmd == "dot") return cmd_dot(args[1]);
     }
-    if (args.size() >= 3) {
+    if (args.size() == 3) {
       if (cmd == "map") return cmd_map(args[1], args[2]);
       if (cmd == "simulate") return cmd_simulate(args[1], args[2]);
       if (cmd == "vcd") return cmd_vcd(args[1], args[2]);
       if (cmd == "bitstream") return cmd_bitstream(args[1], args[2]);
     }
     return usage();
-  } catch (const rsp::Error& e) {
+  } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
