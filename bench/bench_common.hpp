@@ -4,10 +4,12 @@
 // to the pretty table.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -35,6 +37,21 @@ inline void maybe_write_csv(const util::CsvWriter& csv,
   const std::string path = std::string(dir) + "/" + name + ".csv";
   csv.write_file(path);
   std::cout << "[csv written to " << path << "]\n";
+}
+
+/// Writes a BENCH_<name>.json regression document if RSP_BENCH_JSON_DIR is
+/// set — the machine-readable twin CI archives run over run.
+inline void maybe_write_json(const util::Json& doc, const std::string& name) {
+  const char* dir = std::getenv("RSP_BENCH_JSON_DIR");
+  if (!dir) return;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  std::ofstream file(path);
+  file << doc.dump(true) << "\n";
+  file.flush();  // surface late write errors before claiming success
+  if (file)
+    std::cout << "[json written to " << path << "]\n";
+  else
+    std::cout << "[FAILED to write " << path << "]\n";
 }
 
 }  // namespace rsp::bench

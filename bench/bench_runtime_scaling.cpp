@@ -93,6 +93,18 @@ int main() {
       {"Mode", "Threads", "Time(ms)", "Speedup", "Hit rate(%)"});
   util::CsvWriter csv(
       {"mode", "threads", "time_ms", "speedup", "hit_rate_percent"});
+  util::Json json_rows = util::Json::array();
+  const auto add_json_row = [&json_rows](const std::string& mode, int threads,
+                                         double time_ms, double speedup,
+                                         double hit_rate) {
+    util::Json row = util::Json::object();
+    row.set("mode", mode)
+        .set("threads", threads)
+        .set("time_ms", time_ms)
+        .set("speedup", speedup)
+        .set("hit_rate_percent", hit_rate);
+    json_rows.push(std::move(row));
+  };
 
   const Clock::time_point serial_start = Clock::now();
   for (int r = 0; r < kRounds; ++r) run_serial_round(setup);
@@ -101,6 +113,7 @@ int main() {
                  "-"});
   csv.add_row({"serial", "1", util::format_trimmed(serial_ms, 3), "1.00",
                "0"});
+  add_json_row("serial", 1, serial_ms, 1.0, 0.0);
 
   double speedup_4_threads = 0.0;
   double hit_rate_4_threads = 0.0;
@@ -123,6 +136,8 @@ int main() {
                    util::format_trimmed(elapsed_ms, 3),
                    util::format_trimmed(speedup, 3),
                    util::format_trimmed(hit_rate, 2)});
+      add_json_row(mode, threads, elapsed_ms, speedup,
+                   with_cache ? hit_rate : 0.0);
       if (with_cache && threads == 4) {
         speedup_4_threads = speedup;
         hit_rate_4_threads = hit_rate;
@@ -132,6 +147,23 @@ int main() {
 
   std::cout << table.render();
   bench::maybe_write_csv(csv, "bench_runtime_scaling");
+
+  // BENCH_runtime_scaling.json: the regression-tracking document CI
+  // archives (speedup vs thread count, hit rate) alongside the paper-table
+  // benches' CSVs.
+  util::Json json_doc = util::Json::object();
+  json_doc.set("bench", "runtime_scaling")
+      .set("pareto_survivors",
+           static_cast<std::int64_t>(setup.survivors.size()))
+      .set("kernels", static_cast<std::int64_t>(setup.prep.programs.size()))
+      .set("rounds", kRounds)
+      .set("rows", std::move(json_rows));
+  util::Json summary = util::Json::object();
+  summary.set("speedup_4_threads_cached", speedup_4_threads)
+      .set("hit_rate_percent", hit_rate_4_threads)
+      .set("speedup_target", 1.5);
+  json_doc.set("summary", std::move(summary));
+  bench::maybe_write_json(json_doc, "runtime_scaling");
 
   // The acceptance bar for the runtime subsystem: repeated design points
   // must be served >1.5x faster at 4 threads with a warm memo cache.

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Serve-mode smoke: the same v1 batch document answered through
+# `rsp_cli batch <file>` and through a v1 array line piped into
+# `rsp_cli serve` must produce byte-identical results. The trailing
+# "runtime" stats block is scheduling-dependent (cross-request fan-out)
+# and stripped before the comparison.
+#
+#   scripts/serve_smoke.sh <rsp_cli binary> <requests.json>
+set -eu
+
+cli=$1
+requests=$2
+
+strip_runtime() {
+  sed 's/,"runtime":.*//'
+}
+
+batch_results=$("$cli" batch "$requests" --threads 2 | strip_runtime)
+serve_results=$(tr '\n' ' ' < "$requests" | "$cli" serve --threads 2 \
+  | strip_runtime)
+
+if [ -z "$batch_results" ]; then
+  echo "serve_smoke: batch produced no output" >&2
+  exit 1
+fi
+if [ "$batch_results" != "$serve_results" ]; then
+  echo "serve_smoke: serve and batch results diverge" >&2
+  printf 'batch: %s\nserve: %s\n' "$batch_results" "$serve_results" >&2
+  exit 1
+fi
+echo "serve_smoke: serve results byte-identical to batch" \
+  "($(printf %s "$batch_results" | wc -c) bytes compared)"

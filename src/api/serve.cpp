@@ -1,0 +1,164 @@
+#include "api/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "api/protocol.hpp"
+#include "util/error.hpp"
+
+namespace rsp::api {
+
+namespace {
+
+/// In-flight futures above this size trigger a sweep of completed ones, so
+/// an endless stream does not accumulate one future per request forever.
+constexpr std::size_t kPruneThreshold = 64;
+
+}  // namespace
+
+ServeResult serve(Service& service, std::istream& in, std::ostream& out) {
+  std::mutex out_mutex;
+  std::atomic<std::size_t> errors{0};
+  // Set when the output stream fails: responses are being lost, so the
+  // read loop stops accepting new requests and the caller is told.
+  std::atomic<bool> output_failed{false};
+  std::size_t requests = 0;
+  std::unordered_set<std::string> seen_ids;
+  std::vector<std::future<void>> inflight;
+
+  // One response per line, written whole under the lock: concurrent
+  // completions may interleave *lines* in any order but never bytes.
+  const auto write_line = [&out, &out_mutex,
+                           &output_failed](const util::Json& doc) {
+    const std::string line = doc.dump();
+    const std::lock_guard<std::mutex> lock(out_mutex);
+    out << line << "\n" << std::flush;
+    if (!out) output_failed.store(true, std::memory_order_relaxed);
+  };
+  const auto write_error = [&](const util::Json& id,
+                               const std::string& message) {
+    errors.fetch_add(1, std::memory_order_relaxed);
+    write_line(encode_v2_response(id, error_body(message)));
+  };
+  // Joins a completed (or, in the final drain, still-running) task. `done`
+  // callbacks only fail on pathological conditions (bad_alloc while
+  // rendering); the response is lost either way, so account for it and
+  // keep serving.
+  const auto join = [&errors](std::future<void>& f) {
+    if (!f.valid()) return;
+    try {
+      f.get();
+    } catch (...) {
+      errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // One non-blank input line: parse, validate, dispatch or answer.
+  const auto serve_line = [&](const std::string& text) {
+    util::Json doc;
+    try {
+      doc = util::Json::parse(text);
+    } catch (const std::exception& e) {
+      write_error(util::Json(), e.what());
+      return;
+    }
+
+    if (doc.is_array()) {
+      // v1 batch document through the compatibility shim: executed inline
+      // (one document in, one document out — the v1 contract), answered as
+      // a single positional-response line. Its requests still fan out
+      // across the service's pools; per-request failures live in result
+      // slots, so fold them into the error count here.
+      const util::Json response = run_v1_batch(doc, service);
+      const util::Json& results = response.at("results");
+      for (std::size_t i = 0; i < results.size(); ++i)
+        if (!results.at(i).at("ok").as_bool())
+          errors.fetch_add(1, std::memory_order_relaxed);
+      write_line(response);
+      return;
+    }
+
+    // Echo the id on error responses whenever it could be extracted.
+    util::Json id;
+    if (doc.is_object() && doc.contains("id")) {
+      const util::Json& extracted = doc.at("id");
+      if (extracted.is_string() || extracted.is_number()) id = extracted;
+    }
+
+    Request request;
+    try {
+      request = decode_v2_request(doc);
+    } catch (const std::exception& e) {
+      write_error(id, e.what());
+      return;
+    }
+
+    // Ids must be unique for the stream's lifetime — a reused id would
+    // make out-of-order responses ambiguous.
+    const std::string id_key = id.dump();
+    if (!seen_ids.insert(id_key).second) {
+      write_error(id, "duplicate request id " + id_key);
+      return;
+    }
+
+    // Grow the vector *before* submitting: if push_back could throw after
+    // submit, the task's future would be lost and the final drain would
+    // miss it — leaving the task to outlive this frame.
+    inflight.emplace_back();
+    inflight.back() = service.submit(
+        std::move(request), [&errors, &write_line, id](util::Json body) {
+          if (body.contains("ok") && !body.at("ok").as_bool())
+            errors.fetch_add(1, std::memory_order_relaxed);
+          write_line(encode_v2_response(id, std::move(body)));
+        });
+
+    if (inflight.size() >= kPruneThreshold) {
+      std::vector<std::future<void>> still_running;
+      // Reserve up front: a push_back throwing mid-sweep would destroy the
+      // futures already moved over, abandoning tasks that reference this
+      // frame.
+      still_running.reserve(inflight.size());
+      for (std::future<void>& f : inflight) {
+        if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready)
+          join(f);
+        else
+          still_running.push_back(std::move(f));
+      }
+      inflight = std::move(still_running);
+    }
+  };
+
+  // In-flight done-callbacks reference this frame's locals, so no
+  // exception (bad_alloc in parse/push_back, a write failure) may unwind
+  // it while tasks are still running: drain them first, then rethrow.
+  std::string line;
+  try {
+    while (!output_failed.load(std::memory_order_relaxed) &&
+           std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      ++requests;
+      serve_line(line);
+    }
+  } catch (...) {
+    for (std::future<void>& f : inflight)
+      if (f.valid()) f.wait();
+    throw;
+  }
+
+  for (std::future<void>& f : inflight) join(f);
+  ServeResult result;
+  result.requests = requests;
+  result.errors = errors.load();
+  result.output_ok = !output_failed.load();
+  return result;
+}
+
+}  // namespace rsp::api

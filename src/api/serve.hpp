@@ -1,0 +1,44 @@
+// Long-running serving mode: newline-delimited JSON over a byte stream.
+//
+// Each input line is one v2 request object (see api/protocol.hpp). Requests
+// are dispatched concurrently on the Service's pools and each response is
+// written — as one line, atomically — the moment it completes, so responses
+// may appear out of input order; clients correlate by the echoed `id`.
+//
+// Protocol errors (a malformed line, an unknown op, a missing
+// protocol_version, a duplicate id, ...) produce an in-band
+// {"ok": false, "error": ...} response on the output stream and never
+// terminate the loop; `id` is echoed when it could be extracted and null
+// otherwise. Request ids must be unique for the lifetime of the stream —
+// enforcing that retains one id string per accepted request, the one piece
+// of per-request state the loop keeps forever (budget roughly
+// bytes-per-id × requests for very long-lived streams).
+//
+// A line holding a JSON *array* is accepted as a v1 batch document through
+// the compatibility shim: it is executed inline (blocking the read loop,
+// exactly the v1 "one document, one response" contract) and answered with
+// the positional v1 response document on a single line.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "api/service.hpp"
+
+namespace rsp::api {
+
+struct ServeResult {
+  std::size_t requests = 0;  ///< lines answered, including error responses
+  std::size_t errors = 0;    ///< in-band protocol/execution error responses
+  /// False when the output stream failed: responses were lost and the loop
+  /// stopped reading early — there is nobody left to answer. Callers
+  /// should report this out-of-band (exit code); it cannot travel in-band.
+  bool output_ok = true;
+};
+
+/// Reads requests from `in` until EOF (or until `out` fails), streaming
+/// responses to `out`. Returns after every in-flight request has completed
+/// and been written.
+ServeResult serve(Service& service, std::istream& in, std::ostream& out);
+
+}  // namespace rsp::api

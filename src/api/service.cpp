@@ -1,0 +1,311 @@
+#include "api/service.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "api/protocol.hpp"
+#include "arch/bitstream.hpp"
+#include "arch/presets.hpp"
+#include "ir/dot.hpp"
+#include "kernels/registry.hpp"
+#include "rtl/generate.hpp"
+#include "sched/legality.hpp"
+#include "sched/mapper.hpp"
+#include "sched/pretty.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine.hpp"
+#include "sim/vcd.hpp"
+#include "util/error.hpp"
+
+namespace rsp::api {
+
+namespace {
+
+sched::ConfigurationContext schedule_for(const kernels::Workload& w,
+                                         const arch::Architecture& a) {
+  const sched::LoopPipeliner mapper(w.array);
+  const sched::ContextScheduler scheduler;
+  sched::ConfigurationContext ctx =
+      scheduler.schedule(mapper.map(w.kernel, w.hints, w.reduction), a);
+  sched::require_legal(ctx);
+  return ctx;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options)
+    : cache_(options.cache ? std::move(options.cache)
+                           : std::make_shared<runtime::EvalCache>()),
+      catalogue_(kernels::full_catalogue()),
+      workers_(options.threads),
+      dispatch_(options.max_inflight) {}
+
+runtime::RuntimeOptions Service::runtime_options() const {
+  runtime::RuntimeOptions runtime;
+  runtime.pool = &workers_;
+  runtime.cache = cache_;
+  return runtime;
+}
+
+const kernels::Workload& Service::workload(const std::string& name) const {
+  return kernels::find_in_catalogue(catalogue_, name);
+}
+
+arch::Architecture Service::architecture(const std::string& name, int rows,
+                                         int cols) const {
+  for (const arch::Architecture& a : arch::standard_suite(rows, cols))
+    if (a.name == name) return a;
+  throw NotFoundError("unknown architecture '" + name +
+                      "' (Base, RS#1..RS#4, RSP#1..RSP#4)");
+}
+
+ListResponse Service::list(const ListRequest&) const {
+  ListResponse resp;
+  for (const kernels::Workload& w : catalogue_) {
+    KernelInfo info;
+    info.name = w.name;
+    info.iterations = w.kernel.trip_count();
+    info.op_set = w.kernel.op_set_string();
+    info.array =
+        std::to_string(w.array.rows) + "x" + std::to_string(w.array.cols);
+    resp.kernels.push_back(std::move(info));
+  }
+  for (const arch::Architecture& a : arch::standard_suite())
+    resp.architectures.push_back(a.name);
+  return resp;
+}
+
+EvalResponse Service::eval(const EvalRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  const sched::LoopPipeliner mapper(w.array);
+  const runtime::ParallelExplorer evaluator(
+      w.array, {}, synth::SynthesisModel(), runtime_options());
+  EvalResponse resp;
+  resp.kernel = w.name;
+  resp.rows = evaluator.evaluate_suite(
+      w.name, mapper.map(w.kernel, w.hints, w.reduction),
+      arch::standard_suite(w.array.rows, w.array.cols));
+  return resp;
+}
+
+DseResponse Service::dse(const DseRequest& request) const {
+  std::vector<kernels::Workload> domain;
+  if (request.kernels.empty()) {
+    domain = kernels::paper_suite();
+  } else {
+    for (const std::string& name : request.kernels)
+      domain.push_back(workload(name));
+  }
+  DseResponse resp;
+  for (const kernels::Workload& w : domain) resp.kernels.push_back(w.name);
+  const runtime::ParallelExplorer explorer(domain.front().array,
+                                           request.config,
+                                           synth::SynthesisModel(),
+                                           runtime_options());
+  resp.result = explorer.explore(domain);
+  return resp;
+}
+
+MapResponse Service::map(const MapRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  const arch::Architecture a =
+      architecture(request.arch, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  MapResponse resp;
+  resp.kernel = w.name;
+  resp.arch = a.name;
+  resp.schedule = sched::render_schedule(ctx);
+  resp.cycles = ctx.length();
+  resp.peak_critical_issues = ctx.max_critical_issues_per_cycle();
+  return resp;
+}
+
+SimulateResponse Service::simulate(const SimulateRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  const arch::Architecture a =
+      architecture(request.arch, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  ir::Memory mem, golden;
+  w.setup(mem);
+  w.setup(golden);
+  const sim::SimResult result = sim::Machine().run(ctx, mem);
+  w.golden(golden);
+  SimulateResponse resp;
+  resp.kernel = w.name;
+  resp.arch = a.name;
+  resp.cycles = result.stats.cycles;
+  resp.pe_utilization = result.stats.pe_utilization();
+  resp.matches_golden = mem == golden;
+  return resp;
+}
+
+RtlResponse Service::rtl(const RtlRequest& request) const {
+  RtlResponse resp;
+  resp.arch = request.arch;
+  resp.verilog = rtl::generate_verilog(architecture(request.arch, 8, 8));
+  return resp;
+}
+
+DotResponse Service::dot(const DotRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  DotResponse resp;
+  resp.kernel = w.name;
+  resp.dot = ir::to_dot(w.kernel);
+  return resp;
+}
+
+VcdResponse Service::vcd(const VcdRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  const arch::Architecture a =
+      architecture(request.arch, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  ir::Memory mem;
+  w.setup(mem);
+  const sim::SimResult result = sim::Machine().run(ctx, mem);
+  VcdResponse resp;
+  resp.kernel = w.name;
+  resp.arch = a.name;
+  resp.vcd = sim::to_vcd(ctx, result);
+  return resp;
+}
+
+BitstreamResponse Service::bitstream(const BitstreamRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  const arch::Architecture a =
+      architecture(request.arch, w.array.rows, w.array.cols);
+  const sched::ConfigurationContext ctx = schedule_for(w, a);
+  const arch::ConfigCache config = ctx.encode();
+  BitstreamResponse resp;
+  resp.kernel = w.name;
+  resp.arch = a.name;
+  resp.summary = config.summary();
+  resp.bytes = arch::encode_bitstream(config, a.sharing).size();
+  return resp;
+}
+
+CacheStatsResponse Service::cache_stats(const CacheStatsRequest&) const {
+  CacheStatsResponse resp;
+  resp.stats = cache_->stats();
+  resp.threads = workers_.thread_count();
+  return resp;
+}
+
+CacheSaveResponse Service::cache_save(const CacheSaveRequest& request) const {
+  const util::Json doc = cache_->serialize();
+  std::ofstream file(request.path);
+  if (!file)
+    throw Error("cannot write cache file '" + request.path + "'");
+  file << doc.dump() << "\n";
+  file.flush();
+  if (!file)
+    throw Error("error while writing cache file '" + request.path + "'");
+  CacheSaveResponse resp;
+  resp.path = request.path;
+  resp.entries = doc.at("entries").size();
+  return resp;
+}
+
+CacheLoadResponse Service::cache_load(const CacheLoadRequest& request) const {
+  std::ifstream file(request.path);
+  if (!file)
+    throw NotFoundError("cannot open cache file '" + request.path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  CacheLoadResponse resp;
+  resp.path = request.path;
+  resp.entries_loaded = cache_->deserialize(util::Json::parse(text.str()));
+  resp.entries_total = cache_->stats().entries;
+  return resp;
+}
+
+PingResponse Service::ping(const PingRequest& request) const {
+  if (request.delay_ms < 0 || request.delay_ms > kMaxPingDelayMs)
+    throw InvalidArgumentError("'delay_ms' must be in [0, " +
+                               std::to_string(kMaxPingDelayMs) + "]");
+  if (request.delay_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(request.delay_ms));
+  PingResponse resp;
+  resp.delay_ms = request.delay_ms;
+  return resp;
+}
+
+namespace {
+
+// One overload per operation, so the variant visitor in handle() routes by
+// plain overload resolution instead of a hand-written type switch.
+ListResponse dispatch_typed(const Service& s, const ListRequest& r) {
+  return s.list(r);
+}
+EvalResponse dispatch_typed(const Service& s, const EvalRequest& r) {
+  return s.eval(r);
+}
+DseResponse dispatch_typed(const Service& s, const DseRequest& r) {
+  return s.dse(r);
+}
+MapResponse dispatch_typed(const Service& s, const MapRequest& r) {
+  return s.map(r);
+}
+SimulateResponse dispatch_typed(const Service& s, const SimulateRequest& r) {
+  return s.simulate(r);
+}
+RtlResponse dispatch_typed(const Service& s, const RtlRequest& r) {
+  return s.rtl(r);
+}
+DotResponse dispatch_typed(const Service& s, const DotRequest& r) {
+  return s.dot(r);
+}
+VcdResponse dispatch_typed(const Service& s, const VcdRequest& r) {
+  return s.vcd(r);
+}
+BitstreamResponse dispatch_typed(const Service& s, const BitstreamRequest& r) {
+  return s.bitstream(r);
+}
+CacheStatsResponse dispatch_typed(const Service& s,
+                                  const CacheStatsRequest& r) {
+  return s.cache_stats(r);
+}
+CacheSaveResponse dispatch_typed(const Service& s, const CacheSaveRequest& r) {
+  return s.cache_save(r);
+}
+CacheLoadResponse dispatch_typed(const Service& s, const CacheLoadRequest& r) {
+  return s.cache_load(r);
+}
+PingResponse dispatch_typed(const Service& s, const PingRequest& r) {
+  return s.ping(r);
+}
+
+}  // namespace
+
+util::Json Service::handle(const Request& request) const {
+  try {
+    return std::visit(
+        [this](const auto& typed) {
+          return to_body(dispatch_typed(*this, typed));
+        },
+        request);
+  } catch (const std::exception& e) {
+    // rsp::Error and anything else (bad_alloc on an oversized DSE space,
+    // ...): failures travel in-band, never out of the dispatcher.
+    util::Json body = util::Json::object();
+    body.set("ok", false).set("error", std::string(e.what()));
+    return body;
+  }
+}
+
+std::future<util::Json> Service::submit(Request request) const {
+  return dispatch_.submit(
+      [this, request = std::move(request)] { return handle(request); });
+}
+
+std::future<void> Service::submit(
+    Request request, std::function<void(util::Json body)> done) const {
+  return dispatch_.submit(
+      [this, request = std::move(request), done = std::move(done)] {
+        done(handle(request));
+      });
+}
+
+}  // namespace rsp::api

@@ -1,0 +1,268 @@
+// rsp::api::Service — the single façade over the toolchain.
+//
+// Every entry point into the machinery (rsp_cli subcommands, the v1 batch
+// document API, the NDJSON serving mode) dispatches through one stateful
+// Service instance, so capabilities are wired once and every transport
+// shares the same ThreadPool and EvalCache. Requests and responses are
+// typed structs; the JSON wire format lives in api/protocol.hpp.
+//
+// Concurrency model: the Service owns two pools.
+//   * `workers` — the evaluation pool. Heavy requests (eval, dse) fan
+//     their per-(kernel, architecture) measurements out here through
+//     runtime::ParallelExplorer, sharing the memo cache.
+//   * `dispatch` — the request-level executor behind `submit()`.
+//     Independent requests run concurrently here (the cross-request
+//     fan-out); a dispatch task may block on `workers` futures but never
+//     the other way around, so the two-pool split cannot deadlock —
+//     request tasks submitted to a single shared pool could starve their
+//     own inner evaluation tasks.
+// Results are bit-identical to the serial paths regardless of either
+// pool's size (see runtime::ParallelExplorer).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "dse/explorer.hpp"
+#include "kernels/workload.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/parallel_explorer.hpp"
+#include "runtime/thread_pool.hpp"
+#include "util/json.hpp"
+
+namespace rsp::api {
+
+// ------------------------------------------------------------ request types
+
+struct ListRequest {};
+
+struct EvalRequest {
+  std::string kernel;
+};
+
+struct DseRequest {
+  /// Domain kernel names; empty explores the full nine-kernel paper suite.
+  std::vector<std::string> kernels;
+  dse::ExplorerConfig config;
+};
+
+struct MapRequest {
+  std::string kernel;
+  std::string arch;
+};
+
+struct SimulateRequest {
+  std::string kernel;
+  std::string arch;
+};
+
+struct RtlRequest {
+  std::string arch;
+};
+
+struct DotRequest {
+  std::string kernel;
+};
+
+struct VcdRequest {
+  std::string kernel;
+  std::string arch;
+};
+
+struct BitstreamRequest {
+  std::string kernel;
+  std::string arch;
+};
+
+struct CacheStatsRequest {};
+
+struct CacheSaveRequest {
+  std::string path;
+};
+
+struct CacheLoadRequest {
+  std::string path;
+};
+
+/// Liveness probe. `delay_ms` (bounded, see kMaxPingDelayMs) makes
+/// completion order observable: a delayed ping submitted before an
+/// immediate one completes after it, which the serve tests use to pin
+/// down out-of-order streaming.
+struct PingRequest {
+  int delay_ms = 0;
+};
+
+inline constexpr int kMaxPingDelayMs = 10000;
+
+/// Every operation the Service dispatches; api/protocol.hpp decodes wire
+/// requests into this variant.
+using Request =
+    std::variant<ListRequest, EvalRequest, DseRequest, MapRequest,
+                 SimulateRequest, RtlRequest, DotRequest, VcdRequest,
+                 BitstreamRequest, CacheStatsRequest, CacheSaveRequest,
+                 CacheLoadRequest, PingRequest>;
+
+// ----------------------------------------------------------- response types
+
+struct KernelInfo {
+  std::string name;
+  long iterations = 0;
+  std::string op_set;
+  std::string array;  ///< "RxC"
+};
+
+struct ListResponse {
+  std::vector<KernelInfo> kernels;
+  std::vector<std::string> architectures;
+};
+
+struct EvalResponse {
+  std::string kernel;
+  std::vector<core::EvalResult> rows;  ///< suite order (Base first)
+};
+
+struct DseResponse {
+  std::vector<std::string> kernels;  ///< resolved domain, in order
+  dse::ExplorationResult result;
+};
+
+struct MapResponse {
+  std::string kernel;
+  std::string arch;
+  std::string schedule;  ///< rendered context grid
+  int cycles = 0;
+  int peak_critical_issues = 0;
+};
+
+struct SimulateResponse {
+  std::string kernel;
+  std::string arch;
+  int cycles = 0;
+  double pe_utilization = 0.0;
+  bool matches_golden = false;
+};
+
+struct RtlResponse {
+  std::string arch;
+  std::string verilog;
+};
+
+struct DotResponse {
+  std::string kernel;
+  std::string dot;
+};
+
+struct VcdResponse {
+  std::string kernel;
+  std::string arch;
+  std::string vcd;
+};
+
+struct BitstreamResponse {
+  std::string kernel;
+  std::string arch;
+  std::string summary;
+  std::size_t bytes = 0;
+};
+
+struct CacheStatsResponse {
+  runtime::CacheStats stats;
+  int threads = 0;  ///< evaluation pool size
+};
+
+struct CacheSaveResponse {
+  std::string path;
+  std::size_t entries = 0;  ///< entries written
+};
+
+struct CacheLoadResponse {
+  std::string path;
+  std::size_t entries_loaded = 0;
+  std::size_t entries_total = 0;  ///< table size after the merge
+};
+
+struct PingResponse {
+  int delay_ms = 0;
+};
+
+// ----------------------------------------------------------------- service
+
+struct ServiceOptions {
+  /// Evaluation-pool workers; 0 = hardware count.
+  int threads = 0;
+  /// Request-level concurrency (dispatch-pool threads); 0 = hardware count.
+  int max_inflight = 0;
+  /// Shared memo table; created internally when null. Pass one in to keep
+  /// cache state warm across Service instances in the same process.
+  std::shared_ptr<runtime::EvalCache> cache;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  // Typed entry points. All are thread-safe; eval/dse fan their inner work
+  // out across the shared evaluation pool and memo cache.
+  ListResponse list(const ListRequest&) const;
+  EvalResponse eval(const EvalRequest&) const;
+  DseResponse dse(const DseRequest&) const;
+  MapResponse map(const MapRequest&) const;
+  SimulateResponse simulate(const SimulateRequest&) const;
+  RtlResponse rtl(const RtlRequest&) const;
+  DotResponse dot(const DotRequest&) const;
+  VcdResponse vcd(const VcdRequest&) const;
+  BitstreamResponse bitstream(const BitstreamRequest&) const;
+  CacheStatsResponse cache_stats(const CacheStatsRequest&) const;
+  CacheSaveResponse cache_save(const CacheSaveRequest&) const;
+  CacheLoadResponse cache_load(const CacheLoadRequest&) const;
+  PingResponse ping(const PingRequest&) const;
+
+  /// JSON-level dispatch: runs the request and renders the response *body*
+  /// ({"op": ..., "ok": true, ...}). Failures are reported in-band as
+  /// {"ok": false, "error": ...} — this never throws, so one bad request
+  /// cannot take down a serve loop or batch.
+  util::Json handle(const Request& request) const;
+
+  /// Asynchronous `handle` on the dispatch pool: independent requests run
+  /// concurrently while sharing the evaluation pool and cache.
+  std::future<util::Json> submit(Request request) const;
+
+  /// As above, but delivers the response body to `done` on the dispatch
+  /// thread the moment the request completes — the serve loop streams
+  /// out-of-order responses this way. The future signals that `done`
+  /// returned.
+  std::future<void> submit(Request request,
+                           std::function<void(util::Json body)> done) const;
+
+  int thread_count() const { return workers_.thread_count(); }
+  int max_inflight() const { return dispatch_.thread_count(); }
+  const std::shared_ptr<runtime::EvalCache>& cache() const { return cache_; }
+
+ private:
+  runtime::RuntimeOptions runtime_options() const;
+  const kernels::Workload& workload(const std::string& name) const;
+  arch::Architecture architecture(const std::string& name, int rows,
+                                  int cols) const;
+
+  // Declaration order is destruction-order-critical: the pools must be
+  // destroyed (draining their queued tasks) *before* the cache and
+  // catalogue those tasks read, so they are declared after them — and
+  // dispatch_ after workers_, since dispatch tasks block on worker
+  // futures.
+  std::shared_ptr<runtime::EvalCache> cache_;
+  /// Built once; read-only after construction (lookups are concurrent).
+  std::vector<kernels::Workload> catalogue_;
+  mutable runtime::ThreadPool workers_;
+  mutable runtime::ThreadPool dispatch_;
+};
+
+}  // namespace rsp::api

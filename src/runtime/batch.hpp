@@ -1,45 +1,49 @@
-// Batch request API: one JSON document in, one JSON document out.
+// Compatibility forwarder for the v1 batch API.
 //
-// The input is an array of request objects:
+// The batch machinery moved into the rsp::api::Service façade: requests are
+// decoded by api/protocol.hpp, executed concurrently on the service's
+// shared pools, and reassembled positionally (results byte-identical to
+// the original serial implementation; the runtime hit/miss counters are
+// scheduling-dependent). This header keeps the PR-2 entry point
+// `runtime::run_batch` alive for existing callers; new code should
+// construct an api::Service and call api::run_v1_batch — or speak protocol
+// v2 (see docs/PROTOCOL.md).
 //
-//   {"op": "eval", "kernel": "SAD"}
-//       Tables-4/5-style evaluation of one kernel over the standard
-//       architecture suite (Base, RS#1..4, RSP#1..4).
-//
-//   {"op": "dse", "kernels": ["SAD", "MVM"], "config": {...}}
-//       Fig. 7 design space exploration over the named kernels (all nine
-//       paper kernels when "kernels" is omitted). "config" may override
-//       max_units_per_row, max_units_per_col, max_stages, max_area_ratio,
-//       max_time_ratio, pareto_epsilon and objective ("min_time",
-//       "min_area", "min_area_time").
-//
-// Requests are processed in order; each one fans its evaluation work out
-// over a shared thread pool and a shared EvalCache, so repeated kernels or
-// design points across requests are measured once. A malformed request
-// yields {"ok": false, "error": ...} in its result slot without aborting
-// the batch. The response carries per-request results plus runtime
-// statistics (thread count, cache hits/misses).
+// Callers of this header link against rsp::api (rsp::all provides it).
 #pragma once
 
 #include <memory>
+#include <utility>
 
+#include "api/protocol.hpp"
+#include "api/service.hpp"
 #include "runtime/eval_cache.hpp"
 #include "util/json.hpp"
 
 namespace rsp::runtime {
 
 struct BatchOptions {
-  /// Worker threads for the shared pool; 0 = hardware count.
+  /// Worker threads for the shared evaluation pool; 0 = hardware count.
   int threads = 0;
   /// Shared memo table; created internally when null. Pass one in to keep
   /// cache state warm across run_batch calls in the same process.
   std::shared_ptr<EvalCache> cache;
 };
 
-/// Executes a batch of requests. Throws InvalidArgumentError when
-/// `requests` is not a JSON array; individual request failures are
-/// reported in-band.
-util::Json run_batch(const util::Json& requests,
-                     const BatchOptions& options = {});
+/// Executes a v1 batch document over a one-shot api::Service. Throws
+/// InvalidArgumentError when `requests` is not a JSON array; individual
+/// request failures are reported in-band.
+inline util::Json run_batch(const util::Json& requests,
+                            const BatchOptions& options = {}) {
+  api::ServiceOptions service_options;
+  service_options.threads = options.threads;
+  // `threads` is the caller's concurrency bound: cap the request-level
+  // dispatch pool by it as well, so threads=1 cannot fan out across
+  // requests behind the caller's back.
+  service_options.max_inflight = options.threads;
+  service_options.cache = options.cache;
+  api::Service service(std::move(service_options));
+  return api::run_v1_batch(requests, service);
+}
 
 }  // namespace rsp::runtime

@@ -155,6 +155,72 @@ void EvalCache::clear() {
   }
 }
 
+util::Json EvalCache::serialize() const {
+  util::Json entries = util::Json::array();
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, record] : shard.map) {
+      util::Json entry = util::Json::object();
+      entry.set("key", key)
+          .set("cycles", record.cycles)
+          .set("stalls", record.stalls)
+          .set("nostall_cycles", record.nostall_cycles)
+          .set("max_critical_issues", record.max_critical_issues);
+      entries.push(std::move(entry));
+    }
+  }
+  util::Json doc = util::Json::object();
+  doc.set("format", "rsp-eval-cache")
+      .set("version", kSerialFormatVersion)
+      .set("entries", std::move(entries));
+  return doc;
+}
+
+namespace {
+
+int record_int_field(const util::Json& entry, const char* field) {
+  return entry.at(field).as_int("cache entry field '" + std::string(field) +
+                                "'");
+}
+
+}  // namespace
+
+std::size_t EvalCache::deserialize(const util::Json& doc) {
+  if (!doc.is_object() || !doc.contains("format") ||
+      !doc.at("format").is_string() ||
+      doc.at("format").as_string() != "rsp-eval-cache")
+    throw InvalidArgumentError(
+        "not an rsp-eval-cache document (missing format marker)");
+  const double version = doc.at("version").as_number();
+  if (version != static_cast<double>(kSerialFormatVersion))
+    throw InvalidArgumentError(
+        "unsupported cache format version " + util::Json(version).dump() +
+        " (this build reads version " +
+        std::to_string(kSerialFormatVersion) + ")");
+  const util::Json& entries = doc.at("entries");
+  if (!entries.is_array())
+    throw InvalidArgumentError("'entries' must be a JSON array");
+
+  // Validate every entry before touching the table: a malformed document
+  // is rejected whole, not half-merged.
+  std::vector<std::pair<std::string, EvalRecord>> loaded;
+  loaded.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const util::Json& entry = entries.at(i);
+    if (!entry.is_object())
+      throw InvalidArgumentError("cache entry " + std::to_string(i) +
+                                 " must be a JSON object");
+    EvalRecord record;
+    record.cycles = record_int_field(entry, "cycles");
+    record.stalls = record_int_field(entry, "stalls");
+    record.nostall_cycles = record_int_field(entry, "nostall_cycles");
+    record.max_critical_issues = record_int_field(entry, "max_critical_issues");
+    loaded.emplace_back(entry.at("key").as_string(), record);
+  }
+  for (const auto& [key, record] : loaded) insert(key, record);
+  return loaded.size();
+}
+
 CacheStats EvalCache::stats() const {
   CacheStats s;
   s.hits = hits_.load(std::memory_order_relaxed);

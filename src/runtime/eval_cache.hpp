@@ -29,6 +29,7 @@
 
 #include "arch/presets.hpp"
 #include "sched/program.hpp"
+#include "util/json.hpp"
 
 namespace rsp::runtime {
 
@@ -94,6 +95,29 @@ class EvalCache {
   /// misses and recomputes — stale values are never served.
   bool invalidate(const std::string& key);
   void clear();
+
+  /// Serialization format version; bumped whenever the entry schema or the
+  /// key fingerprint composition changes incompatibly.
+  static constexpr int kSerialFormatVersion = 1;
+
+  /// Snapshot of every entry as a JSON document:
+  ///   {"format": "rsp-eval-cache", "version": 1,
+  ///    "entries": [{"key": ..., "cycles": ..., "stalls": ...,
+  ///                 "nostall_cycles": ..., "max_critical_issues": ...}]}
+  /// Shards are locked one at a time, so the snapshot is consistent per
+  /// entry but not across concurrent writers — callers wanting an exact
+  /// image quiesce the pool first. Keys embed a byte-view program hash, so
+  /// a persisted table is only meaningful to the same build on the same
+  /// platform; a mismatched key is simply never looked up (a cold miss),
+  /// never a wrong hit.
+  util::Json serialize() const;
+
+  /// Merges every entry of `doc` (a `serialize()` document) into the table,
+  /// last writer wins; returns the number of entries loaded. Throws
+  /// InvalidArgumentError on a wrong format marker, a version mismatch, or
+  /// malformed entries — a table from an incompatible build must be
+  /// rejected loudly, not half-loaded.
+  std::size_t deserialize(const util::Json& doc);
 
   CacheStats stats() const;
   std::size_t shard_count() const { return shards_.size(); }

@@ -23,6 +23,13 @@ Json& Json::set(const std::string& key, Json value) {
   return *this;
 }
 
+Json& Json::merge(Json other) {
+  if (kind_ != Kind::kObject || other.kind_ != Kind::kObject)
+    throw InvalidArgumentError("merge() requires JSON objects");
+  for (auto& [key, value] : other.fields_) set(key, std::move(value));
+  return *this;
+}
+
 Json& Json::push(Json value) {
   if (kind_ != Kind::kArray)
     throw InvalidArgumentError("push() requires a JSON array");
@@ -52,6 +59,14 @@ const std::string& Json::as_string() const {
   if (kind_ != Kind::kString)
     throw InvalidArgumentError("as_string() requires a JSON string");
   return string_;
+}
+
+int Json::as_int(const std::string& what) const {
+  const double value = as_number();
+  if (!(value >= -2147483648.0 && value <= 2147483647.0) ||
+      value != static_cast<double>(static_cast<int>(value)))
+    throw InvalidArgumentError(what + " must be an integer");
+  return static_cast<int>(value);
 }
 
 bool Json::contains(const std::string& key) const {

@@ -39,6 +39,11 @@ class Json {
 
   /// Object field setter (creates/overwrites); returns *this for chaining.
   Json& set(const std::string& key, Json value);
+  /// Moves every field of `other` (an object) into this object with `set`
+  /// semantics — existing keys are overwritten, new ones appended in
+  /// `other`'s order. Values are moved, not copied, so folding a large
+  /// payload into an envelope is cheap.
+  Json& merge(Json other);
   /// Array append.
   Json& push(Json value);
 
@@ -54,6 +59,13 @@ class Json {
   bool as_bool() const;
   double as_number() const;
   const std::string& as_string() const;
+
+  /// Strict integer read: the number must be integral and in int range
+  /// (range-checked before the cast — out-of-range double→int is UB), so
+  /// e.g. 3.7 fails instead of silently truncating to 3. `what` names the
+  /// field in the InvalidArgumentError message ("<what> must be an
+  /// integer").
+  int as_int(const std::string& what) const;
 
   /// True when this is an object with a field named `key`.
   bool contains(const std::string& key) const;

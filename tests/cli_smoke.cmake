@@ -1,8 +1,10 @@
 # Smoke-test driver for rsp_cli, run via ctest as
 #   cmake -DCLI=<binary> [-DARGS="space separated args"] -DEXPECT_RC=<code>
-#         [-DEXPECT_STDOUT=1] [-DEXPECT_STDERR=1] -P cli_smoke.cmake
-# Fails (non-zero exit) when the exit code differs from EXPECT_RC or when a
-# stream expected to carry output is empty.
+#         [-DEXPECT_STDOUT=1] [-DEXPECT_STDERR=1] [-DSTDIN_FILE=<path>]
+#         [-DEXPECT_STDERR_MATCH=<regex>] -P cli_smoke.cmake
+# Fails (non-zero exit) when the exit code differs from EXPECT_RC, when a
+# stream expected to carry output is empty, or when stderr does not match
+# EXPECT_STDERR_MATCH. STDIN_FILE feeds the command's stdin (serve mode).
 if(NOT DEFINED CLI OR NOT DEFINED EXPECT_RC)
   message(FATAL_ERROR "cli_smoke.cmake requires -DCLI=... and -DEXPECT_RC=...")
 endif()
@@ -11,8 +13,14 @@ if(NOT DEFINED ARGS)
 endif()
 separate_arguments(ARGS UNIX_COMMAND "${ARGS}")
 
+if(DEFINED STDIN_FILE)
+  set(stdin_option INPUT_FILE ${STDIN_FILE})
+else()
+  set(stdin_option "")
+endif()
 execute_process(
   COMMAND ${CLI} ${ARGS}
+  ${stdin_option}
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err
   RESULT_VARIABLE rc)
@@ -28,4 +36,9 @@ if(EXPECT_STDOUT AND out STREQUAL "")
 endif()
 if(EXPECT_STDERR AND err STREQUAL "")
   message(FATAL_ERROR "rsp_cli ${pretty_args}: expected non-empty stderr")
+endif()
+if(DEFINED EXPECT_STDERR_MATCH AND NOT err MATCHES "${EXPECT_STDERR_MATCH}")
+  message(FATAL_ERROR
+    "rsp_cli ${pretty_args}: stderr does not match '${EXPECT_STDERR_MATCH}'\n"
+    "stderr:\n${err}")
 endif()

@@ -1,0 +1,606 @@
+// The rsp::api façade: Service typed dispatch (bit-identical to the serial
+// paths), the v2 protocol codec, the v1 batch compatibility shim, cache
+// persistence, and the NDJSON serve loop (out-of-order streaming, in-band
+// protocol errors). The Service/Protocol/Serve suites also run under the
+// tsan preset — the serial-vs-service agreement checks are exercised with
+// ThreadSanitizer watching the pools.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "api/protocol.hpp"
+#include "api/serve.hpp"
+#include "api/service.hpp"
+#include "arch/presets.hpp"
+#include "core/evaluator.hpp"
+#include "core/report_json.hpp"
+#include "dse/explorer.hpp"
+#include "kernels/registry.hpp"
+#include "runtime/eval_cache.hpp"
+#include "sched/mapper.hpp"
+#include "util/error.hpp"
+
+namespace rsp::api {
+namespace {
+
+// Unique scratch path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + "rsp_api_" + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+ServiceOptions small_options(int threads = 2, int max_inflight = 2) {
+  ServiceOptions options;
+  options.threads = threads;
+  options.max_inflight = max_inflight;
+  return options;
+}
+
+dse::ExplorerConfig small_dse_config() {
+  dse::ExplorerConfig config;
+  config.max_units_per_row = 2;
+  config.max_units_per_col = 1;
+  config.max_stages = 2;
+  return config;
+}
+
+// ----------------------------------------------------------------- service
+
+TEST(Service, EvalBitIdenticalToSerialEvaluator) {
+  // The acceptance gate: the Service path (parallel runtime + memo cache)
+  // must agree with core::RspEvaluator on every field of every row.
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::LoopPipeliner mapper(w.array);
+  const std::vector<core::EvalResult> expected =
+      core::RspEvaluator().evaluate_suite(
+          mapper.map(w.kernel, w.hints, w.reduction),
+          arch::standard_suite(w.array.rows, w.array.cols));
+
+  const Service service(small_options(4));
+  // Twice: the second pass is served from the warm cache and must not
+  // drift from the serial rows either.
+  for (int round = 0; round < 2; ++round) {
+    const EvalResponse resp = service.eval({"SAD"});
+    EXPECT_EQ(resp.kernel, "SAD");
+    ASSERT_EQ(resp.rows.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(resp.rows[i].arch_name, expected[i].arch_name);
+      EXPECT_EQ(resp.rows[i].cycles, expected[i].cycles);
+      EXPECT_EQ(resp.rows[i].stalls, expected[i].stalls);
+      // Bitwise double equality is intended: the parallel reduction must
+      // replay the serial accumulation order exactly.
+      EXPECT_EQ(resp.rows[i].clock_ns, expected[i].clock_ns);
+      EXPECT_EQ(resp.rows[i].execution_time_ns,
+                expected[i].execution_time_ns);
+      EXPECT_EQ(resp.rows[i].delay_reduction_percent,
+                expected[i].delay_reduction_percent);
+      EXPECT_EQ(resp.rows[i].max_mults_per_cycle,
+                expected[i].max_mults_per_cycle);
+    }
+  }
+}
+
+TEST(Service, DseBitIdenticalToSerialExplorer) {
+  const std::vector<kernels::Workload> domain = {
+      kernels::find_workload("SAD"), kernels::find_workload("MVM")};
+  const dse::Explorer serial(domain.front().array, small_dse_config());
+
+  const Service service(small_options());
+  DseRequest request;
+  request.kernels = {"SAD", "MVM"};
+  request.config = small_dse_config();
+  const DseResponse resp = service.dse(request);
+
+  // Rendering both results through the one body renderer compares every
+  // reported field (candidates, pareto set, base, selected optimum).
+  DseResponse serial_resp;
+  serial_resp.kernels = resp.kernels;
+  serial_resp.result = serial.explore(domain);
+  EXPECT_EQ(to_body(resp).dump(), to_body(serial_resp).dump());
+}
+
+TEST(Service, DseWithoutKernelsExploresPaperSuite) {
+  const Service service(small_options());
+  DseRequest request;
+  request.config = small_dse_config();
+  const DseResponse resp = service.dse(request);
+  const std::vector<kernels::Workload> suite = kernels::paper_suite();
+  ASSERT_EQ(resp.kernels.size(), suite.size());
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    EXPECT_EQ(resp.kernels[i], suite[i].name);
+}
+
+TEST(Service, ListReportsCatalogueAndStandardSuite) {
+  const Service service(small_options(1, 1));
+  const ListResponse resp = service.list({});
+  EXPECT_EQ(resp.kernels.size(), kernels::full_catalogue().size());
+  ASSERT_EQ(resp.architectures.size(), 9u);  // Base, RS#1..4, RSP#1..4
+  EXPECT_EQ(resp.architectures.front(), "Base");
+  bool has_sad = false;
+  for (const KernelInfo& info : resp.kernels)
+    if (info.name == "SAD") {
+      has_sad = true;
+      EXPECT_GT(info.iterations, 0);
+      EXPECT_FALSE(info.array.empty());
+    }
+  EXPECT_TRUE(has_sad);
+}
+
+TEST(Service, MapSimulateBitstreamRoundTrip) {
+  const Service service(small_options(1, 1));
+  const MapResponse map = service.map({"SAD", "RSP#4"});
+  EXPECT_EQ(map.kernel, "SAD");
+  EXPECT_EQ(map.arch, "RSP#4");
+  EXPECT_GT(map.cycles, 0);
+  EXPECT_FALSE(map.schedule.empty());
+
+  const SimulateResponse sim = service.simulate({"SAD", "RSP#4"});
+  EXPECT_TRUE(sim.matches_golden);
+  EXPECT_GT(sim.cycles, 0);
+  EXPECT_GT(sim.pe_utilization, 0.0);
+
+  const BitstreamResponse bits = service.bitstream({"SAD", "RSP#4"});
+  EXPECT_GT(bits.bytes, 0u);
+  EXPECT_FALSE(bits.summary.empty());
+}
+
+TEST(Service, RtlDotVcdEmitText) {
+  const Service service(small_options(1, 1));
+  EXPECT_NE(service.rtl({"RSP#2"}).verilog.find("module"),
+            std::string::npos);
+  EXPECT_NE(service.dot({"SAD"}).dot.find("digraph"), std::string::npos);
+  EXPECT_FALSE(service.vcd({"SAD", "Base"}).vcd.empty());
+}
+
+TEST(Service, UnknownNamesThrowNotFound) {
+  const Service service(small_options(1, 1));
+  EXPECT_THROW(service.eval({"no-such-kernel"}), NotFoundError);
+  EXPECT_THROW(service.map({"SAD", "no-such-arch"}), NotFoundError);
+}
+
+TEST(Service, HandleReportsFailuresInBand) {
+  const Service service(small_options(1, 1));
+  const util::Json body = service.handle(EvalRequest{"no-such-kernel"});
+  EXPECT_FALSE(body.at("ok").as_bool());
+  EXPECT_NE(body.at("error").as_string().find("no-such-kernel"),
+            std::string::npos);
+}
+
+TEST(Service, PingRejectsOutOfRangeDelay) {
+  const Service service(small_options(1, 1));
+  EXPECT_THROW(service.ping({-1}), InvalidArgumentError);
+  EXPECT_THROW(service.ping({kMaxPingDelayMs + 1}), InvalidArgumentError);
+  EXPECT_EQ(service.ping({0}).delay_ms, 0);
+}
+
+TEST(Service, SubmitRunsRequestsConcurrently) {
+  // A delayed ping submitted first must still be in flight when an
+  // immediate ping submitted second completes: two requests were in the
+  // air at once on the dispatch pool. The delay is generous because this
+  // suite also runs under ThreadSanitizer (5-15x slowdown) on loaded CI
+  // runners — the immediate ping's full round trip must finish inside it.
+  const Service service(small_options(1, 2));
+  std::future<util::Json> slow = service.submit(PingRequest{1000});
+  std::future<util::Json> fast = service.submit(PingRequest{0});
+  const util::Json fast_body = fast.get();
+  EXPECT_TRUE(fast_body.at("ok").as_bool());
+  EXPECT_EQ(slow.wait_for(std::chrono::seconds(0)),
+            std::future_status::timeout)
+      << "the delayed request should still be in flight";
+  EXPECT_TRUE(slow.get().at("ok").as_bool());
+}
+
+TEST(Service, CacheStatsTracksSharedCacheActivity) {
+  const Service service(small_options());
+  EXPECT_EQ(service.cache_stats({}).stats.entries, 0u);
+  service.eval({"MVM"});
+  const CacheStatsResponse stats = service.cache_stats({});
+  EXPECT_GT(stats.stats.entries, 0u);
+  EXPECT_EQ(stats.threads, service.thread_count());
+}
+
+// ------------------------------------------------------- cache persistence
+
+TEST(Service, CacheSaveLoadRoundTripServesWarm) {
+  TempFile file("cache_roundtrip.json");
+  const Service warm(small_options());
+  const EvalResponse first = warm.eval({"SAD"});
+  const CacheSaveResponse saved = warm.cache_save({file.path()});
+  EXPECT_EQ(saved.entries, warm.cache_stats({}).stats.entries);
+  EXPECT_GT(saved.entries, 0u);
+
+  // A fresh service (fresh cache) restores the table and serves the same
+  // evaluation without a single recompute.
+  const Service restored(small_options());
+  const CacheLoadResponse loaded = restored.cache_load({file.path()});
+  EXPECT_EQ(loaded.entries_loaded, saved.entries);
+  EXPECT_EQ(loaded.entries_total, saved.entries);
+
+  const runtime::CacheStats before = restored.cache_stats({}).stats;
+  const EvalResponse second = restored.eval({"SAD"});
+  const runtime::CacheStats after = restored.cache_stats({}).stats;
+  EXPECT_EQ(after.misses, before.misses);  // every lookup hit
+  EXPECT_GT(after.hits, before.hits);
+  EXPECT_EQ(core::to_json(first.kernel, first.rows).dump(),
+            core::to_json(second.kernel, second.rows).dump());
+}
+
+TEST(Service, CacheLoadRejectsVersionMismatch) {
+  TempFile file("cache_badversion.json");
+  const Service service(small_options());
+  service.eval({"SAD"});
+  util::Json doc = service.cache()->serialize();
+  doc.set("version", 99);
+  {
+    std::ofstream out(file.path());
+    out << doc.dump() << "\n";
+  }
+  const Service fresh(small_options());
+  const util::Json body = fresh.handle(CacheLoadRequest{file.path()});
+  EXPECT_FALSE(body.at("ok").as_bool());
+  EXPECT_NE(body.at("error").as_string().find("version"), std::string::npos);
+  EXPECT_EQ(fresh.cache_stats({}).stats.entries, 0u);  // nothing half-loaded
+}
+
+TEST(Service, CacheLoadRejectsMissingOrForeignFiles) {
+  const Service service(small_options(1, 1));
+  EXPECT_THROW(service.cache_load({"/nonexistent/cache.json"}),
+               NotFoundError);
+  TempFile file("cache_foreign.json");
+  {
+    std::ofstream out(file.path());
+    out << "{\"hello\": 1}\n";
+  }
+  EXPECT_THROW(service.cache_load({file.path()}), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------- protocol
+
+TEST(Protocol, DecodeV2RejectsBadEnvelopes) {
+  const auto expect_rejected = [](const std::string& text,
+                                  const std::string& needle) {
+    const util::Json doc = util::Json::parse(text);
+    try {
+      decode_v2_request(doc);
+      FAIL() << "expected rejection: " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_rejected(R"("ping")", "must be a JSON object");
+  expect_rejected(R"({"id": "a", "op": "ping"})", "protocol_version");
+  expect_rejected(R"({"protocol_version": 1, "id": "a", "op": "ping"})",
+                  "unsupported protocol_version 1");
+  expect_rejected(R"({"protocol_version": 2, "op": "ping"})", "missing request 'id'");
+  expect_rejected(R"({"protocol_version": 2, "id": true, "op": "ping"})",
+                  "'id' must be a string or number");
+  expect_rejected(R"({"protocol_version": 2, "id": "a"})", "missing 'op'");
+  expect_rejected(R"({"protocol_version": 2, "id": "a", "op": "warp"})",
+                  "unknown op 'warp'");
+  expect_rejected(
+      R"({"protocol_version": 2, "id": "a", "op": "eval", "kernle": "SAD"})",
+      "unknown field 'kernle'");
+  expect_rejected(R"({"protocol_version": 2, "id": "a", "op": "eval"})",
+                  "requires a 'kernel' field");
+  expect_rejected(
+      R"({"protocol_version": 2, "id": "a", "op": "ping", "delay_ms": 1.5})",
+      "'delay_ms' must be an integer");
+}
+
+TEST(Protocol, DecodeV2ParsesTypedPayloads) {
+  const util::Json doc = util::Json::parse(
+      R"({"protocol_version": 2, "id": "a", "op": "dse",)"
+      R"( "kernels": ["SAD"], "config": {"max_stages": 3}})");
+  const Request request = decode_v2_request(doc);
+  const DseRequest& dse_request = std::get<DseRequest>(request);
+  ASSERT_EQ(dse_request.kernels.size(), 1u);
+  EXPECT_EQ(dse_request.kernels[0], "SAD");
+  EXPECT_EQ(dse_request.config.max_stages, 3);
+
+  const Request map_request = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "map",)"
+      R"( "kernel": "SAD", "arch": "RSP#4"})"));
+  EXPECT_EQ(std::get<MapRequest>(map_request).arch, "RSP#4");
+}
+
+TEST(Protocol, DecodeV1KeepsLegacyRules) {
+  // v1 is lenient about unknown top-level fields (they were always
+  // ignored) but strict about config keys, with the PR-2 messages.
+  const Request request = decode_v1_request(util::Json::parse(
+      R"({"op": "eval", "kernel": "SAD", "extra": "ignored"})"));
+  EXPECT_EQ(std::get<EvalRequest>(request).kernel, "SAD");
+
+  try {
+    decode_v1_request(util::Json::parse(
+        R"({"op": "dse", "kernels": ["SAD"], "config": {"objetive": 1}})"));
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown config key 'objetive'"),
+              std::string::npos);
+  }
+  try {
+    decode_v1_request(util::Json::parse(R"({"op": "serve"})"));
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("expected \"eval\" or \"dse\""),
+              std::string::npos);
+  }
+}
+
+TEST(Protocol, EnvelopePutsVersionAndIdFirst) {
+  util::Json body = util::Json::object();
+  body.set("op", "ping").set("ok", true).set("delay_ms", 0);
+  const util::Json response = encode_v2_response(util::Json("r1"), body);
+  const std::vector<std::string> keys = response.keys();
+  ASSERT_EQ(keys.size(), 5u);
+  EXPECT_EQ(keys[0], "protocol_version");
+  EXPECT_EQ(keys[1], "id");
+  EXPECT_EQ(keys[2], "op");
+  EXPECT_EQ(response.at("protocol_version").as_number(), kProtocolVersion);
+  EXPECT_EQ(response.at("id").as_string(), "r1");
+}
+
+TEST(Protocol, V1BatchKeepsLegacyShapeAndFieldOrder) {
+  util::Json requests = util::Json::array();
+  util::Json eval = util::Json::object();
+  eval.set("op", "eval").set("kernel", "SAD");
+  requests.push(std::move(eval));
+  util::Json bad = util::Json::object();
+  bad.set("op", "eval").set("kernel", "no-such-kernel");
+  requests.push(std::move(bad));
+
+  Service service(small_options());
+  const util::Json response = run_v1_batch(requests, service);
+
+  // The exact PR-2 document shape: positional results with the legacy
+  // field order, then the runtime stats block.
+  ASSERT_EQ(response.keys(), (std::vector<std::string>{"results", "runtime"}));
+  const util::Json& results = response.at("results");
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results.at(0).keys(),
+            (std::vector<std::string>{"op", "ok", "report", "request"}));
+  EXPECT_TRUE(results.at(0).at("ok").as_bool());
+  EXPECT_EQ(results.at(0).at("request").as_number(), 0);
+  EXPECT_EQ(results.at(1).keys(),
+            (std::vector<std::string>{"ok", "error", "request"}));
+  EXPECT_FALSE(results.at(1).at("ok").as_bool());
+  EXPECT_EQ(response.at("runtime").keys(),
+            (std::vector<std::string>{"threads", "requests", "cache_hits",
+                                      "cache_misses", "cache_entries_total",
+                                      "cache_hit_rate"}));
+  EXPECT_EQ(response.at("runtime").at("requests").as_number(), 2);
+}
+
+TEST(Protocol, V1BatchResultsAreDeterministicAcrossRuns) {
+  // Cross-request fan-out must not leak scheduling into the payloads: two
+  // fresh services produce byte-identical result arrays (cache counters in
+  // the runtime block are scheduling-dependent and excluded).
+  util::Json requests = util::Json::array();
+  util::Json eval = util::Json::object();
+  eval.set("op", "eval").set("kernel", "SAD");
+  requests.push(std::move(eval));
+  util::Json dse_req = util::Json::object();
+  util::Json names = util::Json::array();
+  names.push("SAD").push("MVM");
+  util::Json config = util::Json::object();
+  config.set("max_units_per_row", 2)
+      .set("max_units_per_col", 1)
+      .set("max_stages", 2);
+  dse_req.set("op", "dse").set("kernels", std::move(names));
+  dse_req.set("config", std::move(config));
+  requests.push(std::move(dse_req));
+
+  Service first(small_options(4, 4));
+  Service second(small_options(4, 4));
+  EXPECT_EQ(run_v1_batch(requests, first).at("results").dump(),
+            run_v1_batch(requests, second).at("results").dump());
+}
+
+TEST(Protocol, V1BatchRejectsNonArrayInput) {
+  Service service(small_options(1, 1));
+  EXPECT_THROW(run_v1_batch(util::Json::object(), service),
+               InvalidArgumentError);
+  EXPECT_THROW(run_v1_batch(util::Json("eval"), service),
+               InvalidArgumentError);
+}
+
+// ------------------------------------------------------------------- serve
+
+struct ServeOutput {
+  ServeResult result;
+  std::vector<util::Json> lines;
+};
+
+ServeOutput run_serve(Service& service, const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  ServeOutput output;
+  output.result = serve(service, in, out);
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line))
+    output.lines.push_back(util::Json::parse(line));
+  return output;
+}
+
+TEST(Serve, StreamsResponsesOutOfOrderById) {
+  // Delay sized for TSan on loaded CI runners: the immediate ping's
+  // parse+dispatch+write round trip must complete inside it.
+  Service service(small_options(1, 2));
+  const ServeOutput output = run_serve(
+      service,
+      "{\"protocol_version\": 2, \"id\": \"slow\", \"op\": \"ping\", "
+      "\"delay_ms\": 1000}\n"
+      "{\"protocol_version\": 2, \"id\": \"fast\", \"op\": \"ping\"}\n");
+  EXPECT_EQ(output.result.requests, 2u);
+  EXPECT_EQ(output.result.errors, 0u);
+  ASSERT_EQ(output.lines.size(), 2u);
+  // The immediate ping overtakes the delayed one submitted before it.
+  EXPECT_EQ(output.lines[0].at("id").as_string(), "fast");
+  EXPECT_EQ(output.lines[1].at("id").as_string(), "slow");
+  for (const util::Json& line : output.lines) {
+    EXPECT_TRUE(line.at("ok").as_bool());
+    EXPECT_EQ(line.at("protocol_version").as_number(), kProtocolVersion);
+  }
+}
+
+TEST(Serve, ProtocolErrorsAreInBandAndNonFatal) {
+  // The four satellite cases — malformed NDJSON, unknown op, missing
+  // protocol_version, duplicate id — each answered in-band, and the loop
+  // still serves the valid request that follows.
+  Service service(small_options(1, 2));
+  const ServeOutput output = run_serve(
+      service,
+      "{this is not json\n"
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"warp\"}\n"
+      "{\"id\": \"b\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"c\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"c\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"d\", \"op\": \"ping\"}\n");
+  EXPECT_EQ(output.result.requests, 6u);
+  EXPECT_EQ(output.result.errors, 4u);
+  ASSERT_EQ(output.lines.size(), 6u);
+
+  std::size_t ok_count = 0;
+  bool saw_parse_error = false, saw_unknown_op = false,
+       saw_missing_version = false, saw_duplicate = false;
+  for (const util::Json& line : output.lines) {
+    if (line.at("ok").as_bool()) {
+      ++ok_count;
+      continue;
+    }
+    const std::string& error = line.at("error").as_string();
+    if (error.find("JSON parse error") != std::string::npos) {
+      saw_parse_error = true;
+      EXPECT_TRUE(line.at("id").is_null());
+    }
+    if (error.find("unknown op 'warp'") != std::string::npos)
+      saw_unknown_op = true;
+    if (error.find("protocol_version") != std::string::npos)
+      saw_missing_version = true;
+    if (error.find("duplicate request id \"c\"") != std::string::npos)
+      saw_duplicate = true;
+  }
+  EXPECT_EQ(ok_count, 2u);  // "c" (first use) and "d"
+  EXPECT_TRUE(saw_parse_error);
+  EXPECT_TRUE(saw_unknown_op);
+  EXPECT_TRUE(saw_missing_version);
+  EXPECT_TRUE(saw_duplicate);
+}
+
+TEST(Serve, ExecutionErrorsEchoTheRequestId) {
+  Service service(small_options(1, 2));
+  const ServeOutput output = run_serve(
+      service,
+      "{\"protocol_version\": 2, \"id\": \"bad\", \"op\": \"eval\", "
+      "\"kernel\": \"no-such-kernel\"}\n");
+  ASSERT_EQ(output.lines.size(), 1u);
+  EXPECT_EQ(output.result.errors, 1u);
+  EXPECT_EQ(output.lines[0].at("id").as_string(), "bad");
+  EXPECT_FALSE(output.lines[0].at("ok").as_bool());
+  EXPECT_NE(output.lines[0].at("error").as_string().find("no-such-kernel"),
+            std::string::npos);
+}
+
+TEST(Serve, V1BatchArrayDocumentAnsweredInline) {
+  Service service(small_options());
+  const ServeOutput output =
+      run_serve(service, "[{\"op\": \"eval\", \"kernel\": \"SAD\"}]\n");
+  EXPECT_EQ(output.result.requests, 1u);
+  EXPECT_EQ(output.result.errors, 0u);
+  ASSERT_EQ(output.lines.size(), 1u);
+  const util::Json& doc = output.lines[0];
+  EXPECT_FALSE(doc.contains("protocol_version"));  // v1 has no envelope
+  EXPECT_EQ(doc.at("results").at(0).at("report").at("kernel").as_string(),
+            "SAD");
+}
+
+TEST(Serve, V1InBandFailuresCountAsErrors) {
+  Service service(small_options());
+  const ServeOutput output = run_serve(
+      service,
+      "[{\"op\": \"eval\", \"kernel\": \"no-such-kernel\"}, "
+      "{\"op\": \"eval\", \"kernel\": \"SAD\"}]\n");
+  EXPECT_EQ(output.result.requests, 1u);
+  EXPECT_EQ(output.result.errors, 1u);  // the failed result slot
+  ASSERT_EQ(output.lines.size(), 1u);
+  EXPECT_FALSE(output.lines[0].at("results").at(0).at("ok").as_bool());
+  EXPECT_TRUE(output.lines[0].at("results").at(1).at("ok").as_bool());
+}
+
+TEST(Serve, BlankLinesAreSkipped) {
+  Service service(small_options(1, 1));
+  const ServeOutput output = run_serve(
+      service,
+      "\n   \n{\"protocol_version\": 2, \"id\": \"x\", \"op\": \"list\"}\n");
+  EXPECT_EQ(output.result.requests, 1u);
+  ASSERT_EQ(output.lines.size(), 1u);
+  EXPECT_TRUE(output.lines[0].at("ok").as_bool());
+}
+
+TEST(Serve, FailedOutputStreamStopsTheLoopAndIsReported) {
+  Service service(small_options(1, 1));
+  // The first line's parse-error response is written synchronously by the
+  // reader thread, so the stream failure is observed before line two is
+  // read — the loop must stop there and report the loss.
+  std::istringstream in(
+      "{bogus\n"
+      "{\"protocol_version\": 2, \"id\": \"b\", \"op\": \"ping\"}\n");
+  std::ostringstream out;
+  out.setstate(std::ios::badbit);  // every write fails
+  const ServeResult result = serve(service, in, out);
+  EXPECT_FALSE(result.output_ok);
+  EXPECT_EQ(result.requests, 1u);
+}
+
+TEST(Serve, NumericIdsEchoVerbatim) {
+  Service service(small_options(1, 1));
+  const ServeOutput output = run_serve(
+      service, "{\"protocol_version\": 2, \"id\": 7, \"op\": \"ping\"}\n");
+  ASSERT_EQ(output.lines.size(), 1u);
+  ASSERT_TRUE(output.lines[0].at("id").is_number());
+  EXPECT_EQ(output.lines[0].at("id").as_number(), 7);
+}
+
+TEST(Serve, CacheOpsWorkOverTheWire) {
+  TempFile file("serve_cache.json");
+  Service service(small_options());
+  const ServeOutput output = run_serve(
+      service,
+      "{\"protocol_version\": 2, \"id\": \"e\", \"op\": \"eval\", "
+      "\"kernel\": \"MVM\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"s\", \"op\": \"cache_save\", "
+      "\"path\": \"" + file.path() + "\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"st\", \"op\": \"cache_stats\"}\n");
+  EXPECT_EQ(output.result.errors, 0u);
+  ASSERT_EQ(output.lines.size(), 3u);
+  for (const util::Json& line : output.lines)
+    EXPECT_TRUE(line.at("ok").as_bool());
+
+  // Serve runs requests concurrently, so the snapshot may be taken before
+  // eval finishes populating the table — assert only that whatever was
+  // saved round-trips cleanly into a fresh cache.
+  runtime::EvalCache fresh;
+  std::ifstream saved(file.path());
+  std::ostringstream text;
+  text << saved.rdbuf();
+  fresh.deserialize(util::Json::parse(text.str()));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rsp::api

@@ -35,6 +35,20 @@ TEST(Json, ObjectsPreserveInsertionOrderAndOverwrite) {
   EXPECT_THROW(util::Json::array().keys(), rsp::InvalidArgumentError);
 }
 
+TEST(Json, MergeMovesFieldsWithSetSemantics) {
+  util::Json envelope = util::Json::object();
+  envelope.set("version", 2).set("id", "r1");
+  util::Json body = util::Json::object();
+  body.set("id", "overwritten").set("ok", true);
+  envelope.merge(std::move(body));
+  EXPECT_EQ(envelope.dump(),
+            "{\"version\":2,\"id\":\"overwritten\",\"ok\":true}");
+  EXPECT_THROW(util::Json::object().merge(util::Json::array()),
+               rsp::InvalidArgumentError);
+  EXPECT_THROW(util::Json::array().merge(util::Json::object()),
+               rsp::InvalidArgumentError);
+}
+
 TEST(Json, ArraysAndNesting) {
   util::Json arr = util::Json::array();
   arr.push(1).push("two");

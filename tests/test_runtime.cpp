@@ -185,6 +185,64 @@ TEST(EvalCache, ClearEmptiesEveryShard) {
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
+TEST(EvalCache, SerializeDeserializeRoundTrip) {
+  EvalCache cache(4);
+  for (int v = 1; v <= 5; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    r.stalls = v + 1;
+    r.nostall_cycles = v + 2;
+    r.max_critical_issues = v % 3;
+    cache.insert("k" + std::to_string(v), r);
+  }
+  const util::Json doc = cache.serialize();
+  EXPECT_EQ(doc.at("format").as_string(), "rsp-eval-cache");
+  EXPECT_EQ(doc.at("version").as_number(), EvalCache::kSerialFormatVersion);
+  EXPECT_EQ(doc.at("entries").size(), 5u);
+
+  // Restore into a differently-sharded cache: shard count is a layout
+  // detail, not part of the format.
+  EvalCache restored(2);
+  EXPECT_EQ(restored.deserialize(doc), 5u);
+  EXPECT_EQ(restored.stats().entries, 5u);
+  for (int v = 1; v <= 5; ++v) {
+    const auto record = restored.lookup("k" + std::to_string(v));
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->cycles, v);
+    EXPECT_EQ(record->stalls, v + 1);
+    EXPECT_EQ(record->nostall_cycles, v + 2);
+    EXPECT_EQ(record->max_critical_issues, v % 3);
+  }
+}
+
+TEST(EvalCache, DeserializeRejectsVersionMismatchWithoutHalfLoading) {
+  EvalCache cache;
+  EvalRecord r;
+  r.cycles = 9;
+  cache.insert("k", r);
+  util::Json doc = cache.serialize();
+  doc.set("version", EvalCache::kSerialFormatVersion + 1);
+
+  EvalCache restored;
+  try {
+    restored.deserialize(doc);
+    FAIL() << "expected a version-mismatch rejection";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+  }
+  EXPECT_EQ(restored.stats().entries, 0u);
+
+  // Foreign and malformed documents are rejected whole as well.
+  EXPECT_THROW(restored.deserialize(util::Json::parse("{\"x\": 1}")),
+               InvalidArgumentError);
+  util::Json tampered = util::Json::parse(
+      "{\"format\": \"rsp-eval-cache\", \"version\": 1, "
+      "\"entries\": [{\"key\": \"k\", \"cycles\": 1.5, \"stalls\": 0, "
+      "\"nostall_cycles\": 0, \"max_critical_issues\": 0}]}");
+  EXPECT_THROW(restored.deserialize(tampered), InvalidArgumentError);
+  EXPECT_EQ(restored.stats().entries, 0u);
+}
+
 TEST(EvalCache, ConcurrentGetOrComputeYieldsOneConsistentValue) {
   EvalCache cache(2);  // few shards → real contention
   ThreadPool pool(4);
@@ -377,8 +435,11 @@ TEST(Batch, TwoRequestFileRoundTripsThroughJson) {
   const util::Json& runtime = response.at("runtime");
   EXPECT_EQ(runtime.at("requests").as_number(), 2);
   EXPECT_EQ(runtime.at("threads").as_number(), 2);
-  // SAD is evaluated by request 0 and re-needed by request 1's DSE.
-  EXPECT_GT(runtime.at("cache_hits").as_number(), 0);
+  // Requests overlap on the shared pool since PR 3, so how many of SAD's
+  // measurements request 1's DSE reuses is scheduling-dependent — assert
+  // the shared table was populated, not an exact hit split.
+  EXPECT_GT(runtime.at("cache_entries_total").as_number(), 0);
+  EXPECT_GE(runtime.at("cache_hits").as_number(), 0);
 }
 
 TEST(Batch, BadRequestIsReportedInBandNotFatal) {

@@ -1,16 +1,12 @@
 // rsp_cli — command-line front-end to the RSP-CGRA toolchain.
 //
-//   rsp_cli list                      kernels and architectures
-//   rsp_cli map <kernel> <arch>       schedule + print the context grid
-//   rsp_cli eval <kernel>             Tables-4/5-style row for one kernel
-//   rsp_cli simulate <kernel> <arch>  run on the cycle simulator, verify
-//   rsp_cli explore                   DSE over the full kernel domain
-//   rsp_cli batch <requests.json>     serve eval/dse requests over the
-//                                     parallel runtime, emit one JSON doc
-//   rsp_cli rtl <arch>                emit structural Verilog to stdout
-//   rsp_cli dot <kernel>              emit the body DFG in Graphviz format
-//   rsp_cli vcd <kernel> <arch>       emit a VCD waveform to stdout
-//   rsp_cli bitstream <kernel> <arch> report configuration bitstream size
+// Every subcommand is a thin dispatcher over rsp::api::Service (the one
+// façade all transports share — see src/api/service.hpp): the CLI parses
+// arguments, builds a typed request, and renders the typed response as
+// text. `batch` and `serve` speak the JSON wire protocol instead
+// (docs/PROTOCOL.md): `batch` executes one v1 document, `serve` is the
+// long-running mode streaming v2 NDJSON requests from stdin to stdout with
+// out-of-order completion by id.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -18,21 +14,10 @@
 #include <string>
 #include <vector>
 
-#include "arch/bitstream.hpp"
-#include "arch/presets.hpp"
-#include "core/evaluator.hpp"
+#include "api/protocol.hpp"
+#include "api/serve.hpp"
+#include "api/service.hpp"
 #include "core/report_json.hpp"
-#include "dse/explorer.hpp"
-#include "ir/dot.hpp"
-#include "kernels/registry.hpp"
-#include "rtl/generate.hpp"
-#include "runtime/batch.hpp"
-#include "sched/legality.hpp"
-#include "sched/mapper.hpp"
-#include "sched/pretty.hpp"
-#include "sched/scheduler.hpp"
-#include "sim/machine.hpp"
-#include "sim/vcd.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -40,62 +25,51 @@ namespace {
 
 using namespace rsp;
 
-arch::Architecture arch_by_name(const std::string& name, int rows, int cols) {
-  for (const arch::Architecture& a : arch::standard_suite(rows, cols))
-    if (a.name == name) return a;
-  throw NotFoundError("unknown architecture '" + name +
-                      "' (Base, RS#1..RS#4, RSP#1..RSP#4)");
+// Parses a strictly positive integer flag value ("--threads 4").
+int positive_int_flag(const std::string& flag, const std::string& value) {
+  int parsed_value = 0;
+  try {
+    std::size_t parsed = 0;
+    parsed_value = std::stoi(value, &parsed);
+    if (parsed != value.size()) throw std::invalid_argument(value);
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(flag + ": '" + value + "' is not a count");
+  }
+  if (parsed_value < 1)
+    throw InvalidArgumentError(flag + " requires a positive count");
+  return parsed_value;
 }
 
-sched::ConfigurationContext schedule_for(const kernels::Workload& w,
-                                         const arch::Architecture& a) {
-  const sched::LoopPipeliner mapper(w.array);
-  const sched::ContextScheduler scheduler;
-  sched::ConfigurationContext ctx =
-      scheduler.schedule(mapper.map(w.kernel, w.hints, w.reduction), a);
-  sched::require_legal(ctx);
-  return ctx;
-}
-
-int cmd_list() {
+int cmd_list(const api::Service& service) {
+  const api::ListResponse resp = service.list({});
   util::Table kernels_table({"Kernel", "Iterations", "Op set", "Array"});
-  for (const kernels::Workload& w : kernels::full_catalogue())
-    kernels_table.add_row({w.name, std::to_string(w.kernel.trip_count()),
-                           w.kernel.op_set_string(),
-                           std::to_string(w.array.rows) + "x" +
-                               std::to_string(w.array.cols)});
+  for (const api::KernelInfo& info : resp.kernels)
+    kernels_table.add_row({info.name, std::to_string(info.iterations),
+                           info.op_set, info.array});
   std::cout << kernels_table.render() << "\nArchitectures: ";
-  for (const arch::Architecture& a : arch::standard_suite())
-    std::cout << a.name << " ";
+  for (const std::string& name : resp.architectures) std::cout << name << " ";
   std::cout << "\n";
   return 0;
 }
 
-int cmd_map(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = kernels::find_in_catalogue(kernel);
-  const arch::Architecture a =
-      arch_by_name(arch_name, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  std::cout << render_schedule(ctx) << "cycles: " << ctx.length()
-            << ", peak mults/cycle: " << ctx.max_critical_issues_per_cycle()
-            << "\n";
+int cmd_map(const api::Service& service, const std::string& kernel,
+            const std::string& arch) {
+  const api::MapResponse resp = service.map({kernel, arch});
+  std::cout << resp.schedule << "cycles: " << resp.cycles
+            << ", peak mults/cycle: " << resp.peak_critical_issues << "\n";
   return 0;
 }
 
-int cmd_eval(const std::string& kernel, bool as_json) {
-  const kernels::Workload w = kernels::find_in_catalogue(kernel);
-  const core::RspEvaluator evaluator;
-  const sched::LoopPipeliner mapper(w.array);
-  const auto rows = evaluator.evaluate_suite(
-      mapper.map(w.kernel, w.hints, w.reduction),
-      arch::standard_suite(w.array.rows, w.array.cols));
+int cmd_eval(const api::Service& service, const std::string& kernel,
+             bool as_json) {
+  const api::EvalResponse resp = service.eval({kernel});
   if (as_json) {
-    std::cout << core::to_json(w.name, rows).dump(true) << "\n";
+    std::cout << core::to_json(resp.kernel, resp.rows).dump(true) << "\n";
     return 0;
   }
   util::Table table({"Arch", "cycles", "ET(ns)", "DR(%)", "stall"});
-  table.set_title(w.name);
-  for (const auto& r : rows)
+  table.set_title(resp.kernel);
+  for (const auto& r : resp.rows)
     table.add_row({r.arch_name, std::to_string(r.cycles),
                    util::format_trimmed(r.execution_time_ns, 2),
                    util::format_trimmed(r.delay_reduction_percent, 2),
@@ -104,30 +78,21 @@ int cmd_eval(const std::string& kernel, bool as_json) {
   return 0;
 }
 
-int cmd_simulate(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = kernels::find_in_catalogue(kernel);
-  const arch::Architecture a =
-      arch_by_name(arch_name, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  ir::Memory mem, golden;
-  w.setup(mem);
-  w.setup(golden);
-  const sim::SimResult result = sim::Machine().run(ctx, mem);
-  w.golden(golden);
-  std::cout << w.name << " on " << a.name << ": " << result.stats.cycles
+int cmd_simulate(const api::Service& service, const std::string& kernel,
+                 const std::string& arch) {
+  const api::SimulateResponse resp = service.simulate({kernel, arch});
+  std::cout << resp.kernel << " on " << resp.arch << ": " << resp.cycles
             << " cycles, PE util "
-            << util::format_trimmed(100 * result.stats.pe_utilization(), 1)
+            << util::format_trimmed(100 * resp.pe_utilization, 1)
             << "%, result "
-            << (mem == golden ? "matches golden" : "MISMATCH") << "\n";
-  return mem == golden ? 0 : 1;
+            << (resp.matches_golden ? "matches golden" : "MISMATCH") << "\n";
+  return resp.matches_golden ? 0 : 1;
 }
 
-int cmd_explore() {
-  dse::Explorer explorer((arch::ArraySpec()));
-  const dse::ExplorationResult result =
-      explorer.explore(kernels::paper_suite());
-  const dse::Candidate& best = result.best();
-  std::cout << "explored " << result.candidates.size()
+int cmd_explore(const api::Service& service) {
+  const api::DseResponse resp = service.dse({});
+  const dse::Candidate& best = resp.result.best();
+  std::cout << "explored " << resp.result.candidates.size()
             << " designs; selected " << best.point.label() << " (area "
             << util::format_trimmed(best.area_synthesized, 0) << ", time "
             << util::format_trimmed(best.exact_time_ns, 0) << " ns)\n";
@@ -136,7 +101,7 @@ int cmd_explore() {
 
 int cmd_batch(const std::vector<std::string>& args) {
   std::string path;
-  runtime::BatchOptions options;
+  api::ServiceOptions options;
   bool pretty = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--pretty") {
@@ -144,17 +109,7 @@ int cmd_batch(const std::vector<std::string>& args) {
     } else if (args[i] == "--threads") {
       if (i + 1 >= args.size())
         throw InvalidArgumentError("--threads requires a worker count");
-      const std::string& count = args[++i];
-      try {
-        std::size_t parsed = 0;
-        options.threads = std::stoi(count, &parsed);
-        if (parsed != count.size()) throw std::invalid_argument(count);
-      } catch (const std::exception&) {
-        throw InvalidArgumentError("--threads: '" + count +
-                                   "' is not a thread count");
-      }
-      if (options.threads < 1)
-        throw InvalidArgumentError("--threads requires a positive count");
+      options.threads = positive_int_flag("--threads", args[++i]);
     } else if (!args[i].empty() && args[i][0] == '-') {
       throw InvalidArgumentError("unknown flag '" + args[i] +
                                  "' for batch (--threads N, --pretty)");
@@ -173,53 +128,95 @@ int cmd_batch(const std::vector<std::string>& args) {
   text << file.rdbuf();
 
   const util::Json requests = util::Json::parse(text.str());
-  std::cout << runtime::run_batch(requests, options).dump(pretty) << "\n";
+  // --threads is the user's concurrency bound: it caps the request-level
+  // dispatch pool as well as the evaluation workers.
+  options.max_inflight = options.threads;
+  api::Service service(options);
+  std::cout << api::run_v1_batch(requests, service).dump(pretty) << "\n";
   return 0;
 }
 
-int cmd_rtl(const std::string& arch_name) {
-  std::cout << rtl::generate_verilog(arch_by_name(arch_name, 8, 8));
+int cmd_serve(const std::vector<std::string>& args) {
+  api::ServiceOptions options;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--threads requires a worker count");
+      options.threads = positive_int_flag("--threads", args[++i]);
+    } else if (args[i] == "--max-inflight") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--max-inflight requires a request count");
+      options.max_inflight = positive_int_flag("--max-inflight", args[++i]);
+    } else {
+      throw InvalidArgumentError("unknown flag '" + args[i] +
+                                 "' for serve (--threads N, "
+                                 "--max-inflight N)");
+    }
+  }
+  api::Service service(options);
+  const api::ServeResult result = api::serve(service, std::cin, std::cout);
+  if (!result.output_ok) {
+    // Responses were lost to a dead output stream; the only channel left
+    // for reporting it is stderr + the exit code.
+    std::cerr << "error: output stream failed; responses were lost\n";
+    return 1;
+  }
   return 0;
 }
 
-int cmd_dot(const std::string& kernel) {
-  std::cout << ir::to_dot(kernels::find_in_catalogue(kernel).kernel);
+int cmd_rtl(const api::Service& service, const std::string& arch) {
+  std::cout << service.rtl({arch}).verilog;
   return 0;
 }
 
-int cmd_vcd(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = kernels::find_in_catalogue(kernel);
-  const arch::Architecture a =
-      arch_by_name(arch_name, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  ir::Memory mem;
-  w.setup(mem);
-  const sim::SimResult result = sim::Machine().run(ctx, mem);
-  std::cout << sim::to_vcd(ctx, result);
+int cmd_dot(const api::Service& service, const std::string& kernel) {
+  std::cout << service.dot({kernel}).dot;
   return 0;
 }
 
-int cmd_bitstream(const std::string& kernel, const std::string& arch_name) {
-  const kernels::Workload w = kernels::find_in_catalogue(kernel);
-  const arch::Architecture a =
-      arch_by_name(arch_name, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  const arch::ConfigCache cache = ctx.encode();
-  const auto bytes = arch::encode_bitstream(cache, a.sharing);
-  std::cout << w.name << " on " << a.name << ": " << cache.summary() << ", "
-            << bytes.size() << "-byte bitstream\n";
+int cmd_vcd(const api::Service& service, const std::string& kernel,
+            const std::string& arch) {
+  std::cout << service.vcd({kernel, arch}).vcd;
+  return 0;
+}
+
+int cmd_bitstream(const api::Service& service, const std::string& kernel,
+                  const std::string& arch) {
+  const api::BitstreamResponse resp = service.bitstream({kernel, arch});
+  std::cout << resp.kernel << " on " << resp.arch << ": " << resp.summary
+            << ", " << resp.bytes << "-byte bitstream\n";
   return 0;
 }
 
 // Usage errors (no command, unknown command, missing arguments) print the
-// synopsis to stderr and exit 1 so scripts and CI can detect misuse.
+// synopsis to stderr and exit 1 so scripts and CI can detect misuse. Every
+// subcommand and flag is enumerated here; tools/rsp_cli.cpp and
+// docs/PROTOCOL.md must stay in sync with this list.
 int usage() {
   std::cerr
       << "usage: rsp_cli <command> [args]\n"
-         "  list | map <kernel> <arch> | eval <kernel> [--json] |\n"
-         "  simulate <kernel> <arch> | explore |\n"
-         "  batch <requests.json> [--threads N] [--pretty] | rtl <arch> |\n"
-         "  dot <kernel> | vcd <kernel> <arch> | bitstream <kernel> <arch>\n";
+         "  list                              kernels and architectures\n"
+         "  map <kernel> <arch>               schedule + print the context "
+         "grid\n"
+         "  eval <kernel> [--json]            Tables-4/5-style row for one "
+         "kernel\n"
+         "  simulate <kernel> <arch>          run on the cycle simulator, "
+         "verify\n"
+         "  explore                           DSE over the full kernel "
+         "domain\n"
+         "  batch <requests.json> [--threads N] [--pretty]\n"
+         "                                    run a v1 batch document over "
+         "the service\n"
+         "  serve [--threads N] [--max-inflight N]\n"
+         "                                    stream v2 NDJSON requests "
+         "stdin->stdout\n"
+         "  rtl <arch>                        emit structural Verilog to "
+         "stdout\n"
+         "  dot <kernel>                      emit the body DFG in Graphviz "
+         "format\n"
+         "  vcd <kernel> <arch>               emit a VCD waveform to stdout\n"
+         "  bitstream <kernel> <arch>         report configuration bitstream "
+         "size\n";
   return 1;
 }
 
@@ -230,11 +227,26 @@ int main(int argc, char** argv) {
   try {
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
-    // Exact arities: trailing junk ("map SAD RSP#4 --bogus") is a usage
-    // error, not silently ignored — scripts must be able to trust rc.
-    if (cmd == "list" && args.size() == 1) return cmd_list();
-    if (cmd == "explore" && args.size() == 1) return cmd_explore();
+    // batch/serve parse their own flags; everything else has exact arity —
+    // trailing junk ("map SAD RSP#4 --bogus") is a usage error, not
+    // silently ignored, so scripts can trust the exit code.
     if (cmd == "batch") return cmd_batch(args);
+    if (cmd == "serve") return cmd_serve(args);
+
+    // One service per invocation, always with a single dispatch thread —
+    // the CLI runs exactly one request, so only eval/explore's inner
+    // fan-out benefits from hardware-sized worker pools; the single-shot
+    // commands run one measurement and keep the workers at one thread too.
+    const auto one_shot_service = [](int threads) {
+      api::ServiceOptions options;
+      options.threads = threads;
+      options.max_inflight = 1;
+      return api::Service(options);
+    };
+    const auto light_service = [&] { return one_shot_service(1); };
+    if (cmd == "list" && args.size() == 1) return cmd_list(light_service());
+    if (cmd == "explore" && args.size() == 1)
+      return cmd_explore(one_shot_service(0));
     if (cmd == "eval" && args.size() >= 2) {
       bool as_json = false;
       for (std::size_t i = 2; i < args.size(); ++i) {
@@ -243,17 +255,19 @@ int main(int argc, char** argv) {
                                           "' for eval (only --json)");
         as_json = true;
       }
-      return cmd_eval(args[1], as_json);
+      return cmd_eval(one_shot_service(0), args[1], as_json);
     }
     if (args.size() == 2) {
-      if (cmd == "rtl") return cmd_rtl(args[1]);
-      if (cmd == "dot") return cmd_dot(args[1]);
+      if (cmd == "rtl") return cmd_rtl(light_service(), args[1]);
+      if (cmd == "dot") return cmd_dot(light_service(), args[1]);
     }
     if (args.size() == 3) {
-      if (cmd == "map") return cmd_map(args[1], args[2]);
-      if (cmd == "simulate") return cmd_simulate(args[1], args[2]);
-      if (cmd == "vcd") return cmd_vcd(args[1], args[2]);
-      if (cmd == "bitstream") return cmd_bitstream(args[1], args[2]);
+      if (cmd == "map") return cmd_map(light_service(), args[1], args[2]);
+      if (cmd == "simulate")
+        return cmd_simulate(light_service(), args[1], args[2]);
+      if (cmd == "vcd") return cmd_vcd(light_service(), args[1], args[2]);
+      if (cmd == "bitstream")
+        return cmd_bitstream(light_service(), args[1], args[2]);
     }
     return usage();
   } catch (const std::exception& e) {
