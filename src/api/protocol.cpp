@@ -48,6 +48,27 @@ dse::ExplorerConfig parse_dse_config(const util::Json& request) {
   config.max_area_ratio = num_field("max_area_ratio", config.max_area_ratio);
   config.max_time_ratio = num_field("max_time_ratio", config.max_time_ratio);
   config.pareto_epsilon = num_field("pareto_epsilon", config.pareto_epsilon);
+  // Wire-level configs are validated strictly at decode time so the error
+  // arrives in-band instead of as a silently empty or nonsensical grid.
+  // Every default is positive, so a non-positive value can only come from
+  // an explicit field — rejected on top of the structural checks
+  // ExplorerConfig::validate() enforces for every construction (which
+  // still permits zero unit bounds for programmatic use).
+  const auto reject_bound = [](const char* key, const char* what) {
+    throw InvalidArgumentError("config key '" + std::string(key) +
+                               "' must be " + what);
+  };
+  if (config.max_units_per_row <= 0)
+    reject_bound("max_units_per_row", "positive");
+  if (config.max_units_per_col <= 0)
+    reject_bound("max_units_per_col", "positive");
+  if (config.max_stages <= 0) reject_bound("max_stages", "positive");
+  if (!(config.max_area_ratio > 0.0))
+    reject_bound("max_area_ratio", "positive");
+  if (!(config.max_time_ratio > 0.0))
+    reject_bound("max_time_ratio", "positive");
+  if (!(config.pareto_epsilon >= 0.0))
+    reject_bound("pareto_epsilon", "non-negative");
   if (c.contains("objective")) {
     const std::string& objective = c.at("objective").as_string();
     if (objective == "min_time")
@@ -314,15 +335,32 @@ util::Json to_body(const BitstreamResponse& resp) {
   return body;
 }
 
+namespace {
+
+// Shared by the eval- and mapping-cache sections of cache_stats.
+util::Json& set_cache_stat_fields(util::Json& body,
+                                  const runtime::CacheStats& stats) {
+  return body.set("entries", static_cast<std::int64_t>(stats.entries))
+      .set("hits", static_cast<std::int64_t>(stats.hits))
+      .set("misses", static_cast<std::int64_t>(stats.misses))
+      .set("invalidations", static_cast<std::int64_t>(stats.invalidations))
+      .set("evictions", static_cast<std::int64_t>(stats.evictions))
+      .set("max_entries", static_cast<std::int64_t>(stats.max_entries))
+      .set("hit_rate", stats.hit_rate());
+}
+
+}  // namespace
+
 util::Json to_body(const CacheStatsResponse& resp) {
   util::Json body = ok_body("cache_stats");
-  body.set("threads", resp.threads)
-      .set("entries", static_cast<std::int64_t>(resp.stats.entries))
-      .set("hits", static_cast<std::int64_t>(resp.stats.hits))
-      .set("misses", static_cast<std::int64_t>(resp.stats.misses))
-      .set("invalidations",
-           static_cast<std::int64_t>(resp.stats.invalidations))
-      .set("hit_rate", resp.stats.hit_rate());
+  body.set("threads", resp.threads);
+  set_cache_stat_fields(body, resp.stats);
+  util::Json mapping = util::Json::object();
+  set_cache_stat_fields(mapping, resp.mapping_stats);
+  body.set("mapping", std::move(mapping));
+  util::Json estimates = util::Json::object();
+  set_cache_stat_fields(estimates, resp.estimate_stats);
+  body.set("estimates", std::move(estimates));
   return body;
 }
 

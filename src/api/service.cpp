@@ -22,23 +22,14 @@
 
 namespace rsp::api {
 
-namespace {
-
-sched::ConfigurationContext schedule_for(const kernels::Workload& w,
-                                         const arch::Architecture& a) {
-  const sched::LoopPipeliner mapper(w.array);
-  const sched::ContextScheduler scheduler;
-  sched::ConfigurationContext ctx =
-      scheduler.schedule(mapper.map(w.kernel, w.hints, w.reduction), a);
-  sched::require_legal(ctx);
-  return ctx;
-}
-
-}  // namespace
-
 Service::Service(ServiceOptions options)
     : cache_(options.cache ? std::move(options.cache)
-                           : std::make_shared<runtime::EvalCache>()),
+                           : std::make_shared<runtime::EvalCache>(
+                                 16, options.cache_max_entries)),
+      mapping_cache_(options.mapping_cache
+                         ? std::move(options.mapping_cache)
+                         : std::make_shared<runtime::MappingCache>(
+                               16, options.cache_max_entries)),
       catalogue_(kernels::full_catalogue()),
       workers_(options.threads),
       dispatch_(options.max_inflight) {}
@@ -47,7 +38,20 @@ runtime::RuntimeOptions Service::runtime_options() const {
   runtime::RuntimeOptions runtime;
   runtime.pool = &workers_;
   runtime.cache = cache_;
+  runtime.mapping_cache = mapping_cache_;
   return runtime;
+}
+
+sched::ConfigurationContext Service::schedule_for(
+    const kernels::Workload& w, const arch::Architecture& a) const {
+  // The mapping memo-cache makes repeated map/simulate/vcd/bitstream
+  // requests skip remapping; only the target-architecture schedule runs.
+  const std::shared_ptr<const dse::KernelPrep> prep =
+      mapping_cache_->get_or_map(w);
+  const sched::ContextScheduler scheduler;
+  sched::ConfigurationContext ctx = scheduler.schedule(prep->program, a);
+  sched::require_legal(ctx);
+  return ctx;
 }
 
 const kernels::Workload& Service::workload(const std::string& name) const {
@@ -80,13 +84,12 @@ ListResponse Service::list(const ListRequest&) const {
 
 EvalResponse Service::eval(const EvalRequest& request) const {
   const kernels::Workload& w = workload(request.kernel);
-  const sched::LoopPipeliner mapper(w.array);
   const runtime::ParallelExplorer evaluator(
       w.array, {}, synth::SynthesisModel(), runtime_options());
   EvalResponse resp;
   resp.kernel = w.name;
   resp.rows = evaluator.evaluate_suite(
-      w.name, mapper.map(w.kernel, w.hints, w.reduction),
+      w.name, mapping_cache_->get_or_map(w)->program,
       arch::standard_suite(w.array.rows, w.array.cols));
   return resp;
 }
@@ -189,6 +192,8 @@ BitstreamResponse Service::bitstream(const BitstreamRequest& request) const {
 CacheStatsResponse Service::cache_stats(const CacheStatsRequest&) const {
   CacheStatsResponse resp;
   resp.stats = cache_->stats();
+  resp.mapping_stats = mapping_cache_->stats();
+  resp.estimate_stats = mapping_cache_->estimate_stats();
   resp.threads = workers_.thread_count();
   return resp;
 }

@@ -32,6 +32,7 @@
 #include "dse/explorer.hpp"
 #include "kernels/workload.hpp"
 #include "runtime/eval_cache.hpp"
+#include "runtime/mapping_cache.hpp"
 #include "runtime/parallel_explorer.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/json.hpp"
@@ -172,8 +173,10 @@ struct BitstreamResponse {
 };
 
 struct CacheStatsResponse {
-  runtime::CacheStats stats;
-  int threads = 0;  ///< evaluation pool size
+  runtime::CacheStats stats;           ///< evaluation memo table
+  runtime::CacheStats mapping_stats;   ///< step-1 mapping memo table
+  runtime::CacheStats estimate_stats;  ///< step-2/3 estimate memo table
+  int threads = 0;                     ///< evaluation pool size
 };
 
 struct CacheSaveResponse {
@@ -201,6 +204,13 @@ struct ServiceOptions {
   /// Shared memo table; created internally when null. Pass one in to keep
   /// cache state warm across Service instances in the same process.
   std::shared_ptr<runtime::EvalCache> cache;
+  /// Step-1 mapping memo table; created internally when null (same warm-
+  /// sharing contract as `cache`).
+  std::shared_ptr<runtime::MappingCache> mapping_cache;
+  /// Capacity bound applied to each memo table the Service creates
+  /// internally (segmented-LRU eviction); 0 = unbounded. Tables passed in
+  /// keep the bound they were constructed with.
+  std::size_t cache_max_entries = 0;
 };
 
 class Service {
@@ -246,19 +256,26 @@ class Service {
   int thread_count() const { return workers_.thread_count(); }
   int max_inflight() const { return dispatch_.thread_count(); }
   const std::shared_ptr<runtime::EvalCache>& cache() const { return cache_; }
+  const std::shared_ptr<runtime::MappingCache>& mapping_cache() const {
+    return mapping_cache_;
+  }
 
  private:
   runtime::RuntimeOptions runtime_options() const;
   const kernels::Workload& workload(const std::string& name) const;
   arch::Architecture architecture(const std::string& name, int rows,
                                   int cols) const;
+  /// Maps `w` (through the mapping memo-cache) and schedules it on `a`.
+  sched::ConfigurationContext schedule_for(const kernels::Workload& w,
+                                           const arch::Architecture& a) const;
 
   // Declaration order is destruction-order-critical: the pools must be
-  // destroyed (draining their queued tasks) *before* the cache and
+  // destroyed (draining their queued tasks) *before* the caches and
   // catalogue those tasks read, so they are declared after them — and
   // dispatch_ after workers_, since dispatch tasks block on worker
   // futures.
   std::shared_ptr<runtime::EvalCache> cache_;
+  std::shared_ptr<runtime::MappingCache> mapping_cache_;
   /// Built once; read-only after construction (lookups are concurrent).
   std::vector<kernels::Workload> catalogue_;
   mutable runtime::ThreadPool workers_;

@@ -32,13 +32,24 @@ std::vector<const Candidate*> ExplorationResult::pareto_points() const {
   return out;
 }
 
+void ExplorerConfig::validate() const {
+  const auto reject = [](const std::string& what) {
+    throw InvalidArgumentError("malformed explorer config: " + what);
+  };
+  if (max_units_per_row < 0) reject("'max_units_per_row' must be >= 0");
+  if (max_units_per_col < 0) reject("'max_units_per_col' must be >= 0");
+  if (max_stages < 1) reject("'max_stages' must be positive");
+  if (!(max_area_ratio > 0.0)) reject("'max_area_ratio' must be positive");
+  if (!(max_time_ratio > 0.0)) reject("'max_time_ratio' must be positive");
+  if (!(pareto_epsilon >= 0.0))
+    reject("'pareto_epsilon' must be non-negative");
+}
+
 Explorer::Explorer(arch::ArraySpec array, ExplorerConfig config,
                    synth::SynthesisModel synth)
     : array_(array), config_(config), synth_(std::move(synth)) {
   array_.validate();
-  if (config_.max_stages < 1 || config_.max_units_per_row < 0 ||
-      config_.max_units_per_col < 0)
-    throw InvalidArgumentError("malformed explorer config");
+  config_.validate();
 }
 
 void evaluate_exact(Candidate& cand, std::size_t program_count,
@@ -54,77 +65,77 @@ void evaluate_exact(Candidate& cand, std::size_t program_count,
   cand.exact_time_ns = static_cast<double>(cand.exact_cycles) * cand.clock_ns;
 }
 
-PreparedExploration Explorer::prepare(
-    const std::vector<kernels::Workload>& domain) const {
-  if (domain.empty())
-    throw InvalidArgumentError("exploration requires at least one kernel");
-
+KernelPrep prepare_kernel(const kernels::Workload& workload) {
+  const sched::LoopPipeliner mapper(workload.array);
   const sched::ContextScheduler scheduler;
-  const sched::LoopPipeliner mapper(array_);
-
-  // Step 1: initial configuration contexts on the base architecture.
   const arch::Architecture base =
-      arch::base_architecture(array_.rows, array_.cols);
-  PreparedExploration prep;
-  std::vector<sched::ConfigurationContext> base_contexts;
-  ExplorationResult& result = prep.result;
-  for (const kernels::Workload& w : domain) {
-    if (w.array != array_)
-      throw InvalidArgumentError("workload '" + w.name +
-                                 "' targets a different array geometry");
-    prep.kernel_names.push_back(w.name);
-    prep.programs.push_back(mapper.map(w.kernel, w.hints, w.reduction));
-    base_contexts.push_back(scheduler.schedule(prep.programs.back(), base));
-    sched::require_legal(base_contexts.back());
-    result.base_cycles += base_contexts.back().length();
-  }
-  result.base_area = synth_.area(base);
-  const double base_clock = synth_.clock_ns(base);
-  result.base_time_ns = static_cast<double>(result.base_cycles) * base_clock;
-  const double base_area_raw =
-      synth_.area_model().library().base_pe().area_slices * array_.num_pes();
+      arch::base_architecture(workload.array.rows, workload.array.cols);
+  sched::PlacedProgram program =
+      mapper.map(workload.kernel, workload.hints, workload.reduction);
+  sched::ConfigurationContext base_context =
+      scheduler.schedule(program, base);
+  sched::require_legal(base_context);
+  return KernelPrep{std::move(program), std::move(base_context)};
+}
 
-  // Step 2–3: enumerate and estimate.
-  for (int upr = 0; upr <= config_.max_units_per_row; ++upr) {
-    for (int upc = 0; upc <= config_.max_units_per_col; ++upc) {
+arch::Architecture Explorer::base_architecture() const {
+  return arch::base_architecture(array_.rows, array_.cols);
+}
+
+double Explorer::base_area_raw() const {
+  return synth_.area_model().library().base_pe().area_slices *
+         array_.num_pes();
+}
+
+std::vector<DesignPoint> Explorer::enumerate_points() const {
+  std::vector<DesignPoint> points;
+  for (int upr = 0; upr <= config_.max_units_per_row; ++upr)
+    for (int upc = 0; upc <= config_.max_units_per_col; ++upc)
       for (int stages = 1; stages <= config_.max_stages; ++stages) {
         const DesignPoint point{upr, upc, stages};
         if (point.is_base() && stages > 1) continue;  // nothing to pipeline
-        Candidate cand;
-        cand.point = point;
-        cand.architecture =
-            point.is_base()
-                ? base
-                : arch::custom_architecture("RSP(" + point.label() + ")",
-                                            array_.rows, array_.cols, upr,
-                                            upc, stages);
-        cand.area_estimate = synth_.area_model().estimate(cand.architecture);
-        cand.area_synthesized = synth_.area(cand.architecture);
-        cand.clock_ns = synth_.clock_ns(cand.architecture);
-
-        for (std::size_t k = 0; k < prep.programs.size(); ++k) {
-          const core::PerfEstimate est = core::estimate_performance(
-              base_contexts[k], cand.architecture);
-          cand.estimated_cycles += est.estimated_cycles();
-        }
-        cand.estimated_time_ns =
-            static_cast<double>(cand.estimated_cycles) * cand.clock_ns;
-
-        if (!point.is_base() &&
-            cand.area_estimate >= config_.max_area_ratio * base_area_raw) {
-          cand.rejected = true;
-          cand.reject_reason = "hardware cost too high (eq. 2)";
-        } else if (cand.estimated_time_ns >
-                   config_.max_time_ratio * result.base_time_ns) {
-          cand.rejected = true;
-          cand.reject_reason = "performance too low";
-        }
-        result.candidates.push_back(std::move(cand));
+        points.push_back(point);
       }
-    }
-  }
+  return points;
+}
 
-  // Step 4: Pareto filter over the surviving estimates.
+Candidate Explorer::estimate_candidate(const DesignPoint& point,
+                                       const arch::Architecture& base,
+                                       std::size_t kernel_count,
+                                       const EstimateFn& estimate,
+                                       double base_area_raw,
+                                       double base_time_ns) const {
+  Candidate cand;
+  cand.point = point;
+  cand.architecture =
+      point.is_base()
+          ? base
+          : arch::custom_architecture("RSP(" + point.label() + ")",
+                                     array_.rows, array_.cols,
+                                     point.units_per_row,
+                                     point.units_per_col, point.stages);
+  cand.area_estimate = synth_.area_model().estimate(cand.architecture);
+  cand.area_synthesized = synth_.area(cand.architecture);
+  cand.clock_ns = synth_.clock_ns(cand.architecture);
+
+  for (std::size_t k = 0; k < kernel_count; ++k)
+    cand.estimated_cycles += estimate(k, cand.architecture).estimated_cycles();
+  cand.estimated_time_ns =
+      static_cast<double>(cand.estimated_cycles) * cand.clock_ns;
+
+  if (!point.is_base() &&
+      cand.area_estimate >= config_.max_area_ratio * base_area_raw) {
+    cand.rejected = true;
+    cand.reject_reason = "hardware cost too high (eq. 2)";
+  } else if (cand.estimated_time_ns >
+             config_.max_time_ratio * base_time_ns) {
+    cand.rejected = true;
+    cand.reject_reason = "performance too low";
+  }
+  return cand;
+}
+
+void Explorer::pareto_filter(ExplorationResult& result) const {
   std::vector<std::size_t> alive;
   for (std::size_t i = 0; i < result.candidates.size(); ++i)
     if (!result.candidates[i].rejected) alive.push_back(i);
@@ -136,6 +147,46 @@ PreparedExploration Explorer::prepare(
       [](const Candidate& c) { return c.estimated_time_ns; },
       config_.pareto_epsilon);
   for (std::size_t f : front) result.candidates[alive[f]].pareto = true;
+}
+
+PreparedExploration Explorer::prepare(
+    const std::vector<kernels::Workload>& domain) const {
+  if (domain.empty())
+    throw InvalidArgumentError("exploration requires at least one kernel");
+
+  // Step 1: initial configuration contexts on the base architecture.
+  const arch::Architecture base = base_architecture();
+  PreparedExploration prep;
+  std::vector<sched::ConfigurationContext> base_contexts;
+  ExplorationResult& result = prep.result;
+  for (const kernels::Workload& w : domain) {
+    if (w.array != array_)
+      throw InvalidArgumentError("workload '" + w.name +
+                                 "' targets a different array geometry");
+    KernelPrep kernel_prep = prepare_kernel(w);
+    prep.kernel_names.push_back(w.name);
+    prep.programs.push_back(std::move(kernel_prep.program));
+    base_contexts.push_back(std::move(kernel_prep.base_context));
+    result.base_cycles += base_contexts.back().length();
+  }
+  result.base_area = synth_.area(base);
+  const double base_clock = synth_.clock_ns(base);
+  result.base_time_ns = static_cast<double>(result.base_cycles) * base_clock;
+
+  // Step 2–3: enumerate and estimate.
+  const EstimateFn estimate = [&base_contexts](
+                                  std::size_t k,
+                                  const arch::Architecture& target) {
+    return core::estimate_performance(base_contexts[k], target);
+  };
+  const double area_raw = base_area_raw();
+  for (const DesignPoint& point : enumerate_points())
+    result.candidates.push_back(
+        estimate_candidate(point, base, base_contexts.size(), estimate,
+                           area_raw, result.base_time_ns));
+
+  // Step 4: Pareto filter over the surviving estimates.
+  pareto_filter(result);
   return prep;
 }
 

@@ -75,6 +75,13 @@ struct ExplorerConfig {
   /// competitive designs alive for exact evaluation.
   double pareto_epsilon = 0.05;
   Objective objective = Objective::kMinAreaTimeProduct;
+
+  /// Throws InvalidArgumentError naming the offending field: negative unit
+  /// bounds, max_stages < 1, non-positive ratios, or a negative epsilon
+  /// would silently explore an empty or nonsensical grid. (Zero unit
+  /// bounds stay legal — they restrict the grid to one sharing dimension,
+  /// or to the base point alone.)
+  void validate() const;
 };
 
 struct ExplorationResult {
@@ -100,11 +107,34 @@ struct PreparedExploration {
   ExplorationResult result;
 };
 
+/// Step-1 product for one kernel: the placed program and its schedule on
+/// the base architecture (one of the paper's "initial configuration
+/// contexts"). This is what the runtime's mapping memo-cache stores.
+struct KernelPrep {
+  sched::PlacedProgram program;
+  sched::ConfigurationContext base_context;
+};
+
+/// The canonical step-1 computation for one kernel on its own array
+/// geometry: map, schedule on the base architecture, legality-check.
+/// Every prepare path — Explorer::prepare, runtime::prepare_parallel, the
+/// mapping memo-cache fill — goes through this one function so the
+/// step-1 products cannot drift between the serial and parallel flows.
+KernelPrep prepare_kernel(const kernels::Workload& workload);
+
 /// Measurement hook for `evaluate_exact`: returns the PerfPoint of placed
 /// program `program_index` on `architecture`. The serial path calls
 /// sched::measure directly; parallel paths may interpose a memo cache.
 using MeasureFn = std::function<sched::PerfPoint(
     std::size_t program_index, const arch::Architecture& architecture)>;
+
+/// Estimation hook for `Explorer::estimate_candidate`, the step-2/3
+/// analogue of MeasureFn: returns the fast performance estimate of kernel
+/// `kernel_index`'s base context on `architecture`. The serial path calls
+/// core::estimate_performance directly; parallel paths may interpose the
+/// mapping memo-cache's estimate table.
+using EstimateFn = std::function<core::PerfEstimate(
+    std::size_t kernel_index, const arch::Architecture& architecture)>;
 
 /// Step 5 for a single Pareto survivor: accumulates the per-kernel
 /// measurements (in program order, so the reduction is deterministic) into
@@ -127,6 +157,39 @@ class Explorer {
   /// under the configured objective (-1 when none is evaluated).
   void select_optimum(ExplorationResult& result) const;
 
+  // ---- The individual prepare stages, exposed so parallel drivers
+  // ---- (runtime::prepare_parallel) fan out exactly the serial loop
+  // ---- bodies and stay bit-identical by construction. All are const and
+  // ---- thread-safe (the models hold no mutable state).
+
+  /// The base architecture every candidate is estimated against.
+  arch::Architecture base_architecture() const;
+
+  /// Raw eq. (2) base-PE area — the denominator of the cost-constraint
+  /// ratio in step 3.
+  double base_area_raw() const;
+
+  /// Step 2's enumeration order: the serial loop nest over (units per row,
+  /// units per column, stages), flattened. Candidate i of every prepare
+  /// path corresponds to point i of this vector.
+  std::vector<DesignPoint> enumerate_points() const;
+
+  /// Steps 2–3 for one design point: architecture construction, area/clock
+  /// models, the estimated-cycle sum over kernels 0..kernel_count-1 (in
+  /// domain order, through `estimate`) and the two reject checks. Pure
+  /// function of its arguments when `estimate` is.
+  Candidate estimate_candidate(const DesignPoint& point,
+                               const arch::Architecture& base,
+                               std::size_t kernel_count,
+                               const EstimateFn& estimate,
+                               double base_area_raw,
+                               double base_time_ns) const;
+
+  /// Step 4: flags the ε-Pareto front of the non-rejected candidates.
+  void pareto_filter(ExplorationResult& result) const;
+
+  const arch::ArraySpec& array() const { return array_; }
+  const ExplorerConfig& config() const { return config_; }
   const synth::SynthesisModel& synthesis() const { return synth_; }
 
  private:

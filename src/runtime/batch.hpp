@@ -18,6 +18,7 @@
 #include "api/protocol.hpp"
 #include "api/service.hpp"
 #include "runtime/eval_cache.hpp"
+#include "runtime/mapping_cache.hpp"
 #include "util/json.hpp"
 
 namespace rsp::runtime {
@@ -28,6 +29,11 @@ struct BatchOptions {
   /// Shared memo table; created internally when null. Pass one in to keep
   /// cache state warm across run_batch calls in the same process.
   std::shared_ptr<EvalCache> cache;
+  /// Step-1 mapping memo table; same warm-sharing contract as `cache`.
+  std::shared_ptr<MappingCache> mapping_cache;
+  /// Capacity bound for internally created memo tables (segmented-LRU
+  /// eviction); 0 = unbounded.
+  std::size_t cache_max_entries = 0;
 };
 
 /// Executes a v1 batch document over a one-shot api::Service. Throws
@@ -42,6 +48,8 @@ inline util::Json run_batch(const util::Json& requests,
   // requests behind the caller's back.
   service_options.max_inflight = options.threads;
   service_options.cache = options.cache;
+  service_options.mapping_cache = options.mapping_cache;
+  service_options.cache_max_entries = options.cache_max_entries;
   api::Service service(std::move(service_options));
   return api::run_v1_batch(requests, service);
 }

@@ -1,14 +1,12 @@
 #include "runtime/eval_cache.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace rsp::runtime {
-
-EvalCache::EvalCache(std::size_t shards) : shards_(shards) {
-  if (shards == 0)
-    throw InvalidArgumentError("EvalCache requires at least one shard");
-}
 
 std::string EvalCache::program_tag(const sched::PlacedProgram& program) {
   // Hash of the program fields the scheduler reads. Byte-view hashing is
@@ -42,15 +40,10 @@ std::string EvalCache::program_tag(const sched::PlacedProgram& program) {
   return std::to_string(h);
 }
 
-std::string EvalCache::key(const std::string& kernel_id,
-                           const std::string& program_tag,
-                           const arch::Architecture& a) {
-  // Canonical, human-readable fingerprint. Every field the scheduler or
-  // clock model reads is included; cosmetic fields (the name) are not.
-  std::string k = kernel_id;
-  k += '#';
-  k += program_tag;
-  k += '|';
+std::string arch_fingerprint(const arch::Architecture& a) {
+  // Every field the scheduler, estimator or clock model reads is included;
+  // cosmetic fields (the name) are not.
+  std::string k;
   k += std::to_string(a.array.rows) + 'x' + std::to_string(a.array.cols);
   k += ";rb" + std::to_string(a.array.read_buses_per_row);
   k += ";wb" + std::to_string(a.array.write_buses_per_row);
@@ -66,108 +59,27 @@ std::string EvalCache::key(const std::string& kernel_id,
   return k;
 }
 
-EvalCache::Shard& EvalCache::shard_for(const std::string& key) {
-  // mix64 on top of FNV-1a: near-identical keys (consecutive shr/shc/stage
-  // fingerprints) must not cluster on one shard.
-  return shards_[util::mix64(util::fnv1a(key)) % shards_.size()];
-}
-
-const EvalCache::Shard& EvalCache::shard_for(const std::string& key) const {
-  return shards_[util::mix64(util::fnv1a(key)) % shards_.size()];
-}
-
-std::optional<EvalRecord> EvalCache::lookup(const std::string& key) const {
-  const Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    return std::nullopt;
-  }
-  hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
-}
-
-void EvalCache::insert(const std::string& key, const EvalRecord& record) {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.map[key] = record;  // last writer wins; records are deterministic
-}
-
-EvalRecord EvalCache::get_or_compute(
-    const std::string& key, const std::function<EvalRecord()>& compute) {
-  Shard& shard = shard_for(key);
-  std::uint64_t ticket = 0;
-  {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.map.find(key);
-    if (it != shard.map.end()) {
-      hits_.fetch_add(1, std::memory_order_relaxed);
-      return it->second;
-    }
-    misses_.fetch_add(1, std::memory_order_relaxed);
-    ticket = ++shard.next_ticket;
-    shard.pending[key] = ticket;
-  }
-  const auto drop_ticket = [&] {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.pending.find(key);
-    if (it != shard.pending.end() && it->second == ticket)
-      shard.pending.erase(it);
-  };
-  EvalRecord record;
-  try {
-    record = compute();  // slow path, outside the lock
-  } catch (...) {
-    drop_ticket();
-    throw;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    // Publish only if this key's compute was not superseded: an
-    // invalidation dropped the ticket (the key must stay gone) or a later
-    // compute of the same key replaced it (that one publishes instead).
-    const auto it = shard.pending.find(key);
-    if (it != shard.pending.end() && it->second == ticket) {
-      shard.map[key] = record;
-      shard.pending.erase(it);
-    }
-  }
-  return record;
-}
-
-bool EvalCache::invalidate(const std::string& key) {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mutex);
-  const bool erased = shard.map.erase(key) > 0;
-  // Also cancel any in-flight compute of this key: its result was derived
-  // before the invalidation and must not be published afterwards.
-  shard.pending.erase(key);
-  if (erased) invalidations_.fetch_add(1, std::memory_order_relaxed);
-  return erased;
-}
-
-void EvalCache::clear() {
-  for (Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.map.clear();
-    shard.pending.clear();
-  }
+std::string EvalCache::key(const std::string& kernel_id,
+                           const std::string& program_tag,
+                           const arch::Architecture& a) {
+  std::string k = kernel_id;
+  k += '#';
+  k += program_tag;
+  k += '|';
+  k += arch_fingerprint(a);
+  return k;
 }
 
 util::Json EvalCache::serialize() const {
   util::Json entries = util::Json::array();
-  for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [key, record] : shard.map) {
-      util::Json entry = util::Json::object();
-      entry.set("key", key)
-          .set("cycles", record.cycles)
-          .set("stalls", record.stalls)
-          .set("nostall_cycles", record.nostall_cycles)
-          .set("max_critical_issues", record.max_critical_issues);
-      entries.push(std::move(entry));
-    }
+  for (const auto& [key, record] : cache_.snapshot()) {
+    util::Json entry = util::Json::object();
+    entry.set("key", key)
+        .set("cycles", record.cycles)
+        .set("stalls", record.stalls)
+        .set("nostall_cycles", record.nostall_cycles)
+        .set("max_critical_issues", record.max_critical_issues);
+    entries.push(std::move(entry));
   }
   util::Json doc = util::Json::object();
   doc.set("format", "rsp-eval-cache")
@@ -219,18 +131,6 @@ std::size_t EvalCache::deserialize(const util::Json& doc) {
   }
   for (const auto& [key, record] : loaded) insert(key, record);
   return loaded.size();
-}
-
-CacheStats EvalCache::stats() const {
-  CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
-  for (const Shard& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    s.entries += shard.map.size();
-  }
-  return s;
 }
 
 }  // namespace rsp::runtime

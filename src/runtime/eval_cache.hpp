@@ -8,26 +8,22 @@
 // collide only with ~2^-64 probability, not never (a persisted
 // cross-process cache would need the full program content in the key). The
 // full key string is stored and compared, so the shard-picking hash adds
-// no further collision risk. The table is striped over independently
-// locked shards so worker threads rarely contend, and hit/miss counters
-// feed the runtime reports.
+// no further collision risk.
 //
-// Scheduling is deterministic, so two threads racing to compute the same
-// key insert identical records; the race is benign and lock-free readers
-// are never exposed to partial values (all reads go through the shard
-// mutex).
+// The concurrency machinery — shard striping, the per-key publish ticket
+// that keeps an entry invalidated mid-compute from being resurrected, and
+// the bounded-capacity segmented-LRU eviction — lives in
+// runtime/striped_cache.hpp and is shared with the MappingCache; this
+// class adds the key/fingerprint composition and the persistence format.
 #pragma once
 
-#include <atomic>
-#include <cstdint>
+#include <cstddef>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <vector>
 
 #include "arch/presets.hpp"
+#include "runtime/striped_cache.hpp"
 #include "sched/program.hpp"
 #include "util/json.hpp"
 
@@ -46,21 +42,19 @@ struct EvalRecord {
   bool operator==(const EvalRecord&) const = default;
 };
 
-struct CacheStats {
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t entries = 0;
-  std::uint64_t invalidations = 0;
-
-  double hit_rate() const {
-    const std::uint64_t total = hits + misses;
-    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
-  }
-};
+/// Canonical, human-readable fingerprint of the architecture parameters
+/// that influence scheduling and estimation. Cosmetic fields (the name)
+/// are excluded so a preset ("RSP#2") and an identically-parameterised
+/// custom design share one fingerprint. Shared by the EvalCache and
+/// MappingCache key compositions.
+std::string arch_fingerprint(const arch::Architecture& architecture);
 
 class EvalCache {
  public:
-  explicit EvalCache(std::size_t shards = 16);
+  /// `max_entries` bounds the table (segmented-LRU eviction, enforced per
+  /// shard as ceil(max_entries / shards)); 0 keeps it unbounded.
+  explicit EvalCache(std::size_t shards = 16, std::size_t max_entries = 0)
+      : cache_(shards, max_entries) {}
 
   EvalCache(const EvalCache&) = delete;
   EvalCache& operator=(const EvalCache&) = delete;
@@ -80,8 +74,12 @@ class EvalCache {
                          const std::string& program_tag,
                          const arch::Architecture& architecture);
 
-  std::optional<EvalRecord> lookup(const std::string& key) const;
-  void insert(const std::string& key, const EvalRecord& record);
+  std::optional<EvalRecord> lookup(const std::string& key) const {
+    return cache_.lookup(key);
+  }
+  void insert(const std::string& key, const EvalRecord& record) {
+    cache_.insert(key, record);
+  }
 
   /// lookup, or run `compute` and insert its result. `compute` runs outside
   /// any shard lock (it reschedules kernels — far too slow to serialize),
@@ -89,12 +87,14 @@ class EvalCache {
   /// meanwhile — an entry invalidated mid-compute stays invalidated, and
   /// invalidations of *other* keys do not block the publish.
   EvalRecord get_or_compute(const std::string& key,
-                            const std::function<EvalRecord()>& compute);
+                            const std::function<EvalRecord()>& compute) {
+    return cache_.get_or_compute(key, compute);
+  }
 
   /// Removes one entry; returns whether it existed. A subsequent lookup
   /// misses and recomputes — stale values are never served.
-  bool invalidate(const std::string& key);
-  void clear();
+  bool invalidate(const std::string& key) { return cache_.invalidate(key); }
+  void clear() { cache_.clear(); }
 
   /// Serialization format version; bumped whenever the entry schema or the
   /// key fingerprint composition changes incompatibly.
@@ -109,7 +109,9 @@ class EvalCache {
   /// image quiesce the pool first. Keys embed a byte-view program hash, so
   /// a persisted table is only meaningful to the same build on the same
   /// platform; a mismatched key is simply never looked up (a cold miss),
-  /// never a wrong hit.
+  /// never a wrong hit. An *evicting* cache snapshots whatever is resident
+  /// at that moment; restoring into a bounded table re-enters through the
+  /// normal insert path (and may evict again if the bound is smaller).
   util::Json serialize() const;
 
   /// Merges every entry of `doc` (a `serialize()` document) into the table,
@@ -119,27 +121,12 @@ class EvalCache {
   /// rejected loudly, not half-loaded.
   std::size_t deserialize(const util::Json& doc);
 
-  CacheStats stats() const;
-  std::size_t shard_count() const { return shards_.size(); }
+  CacheStats stats() const { return cache_.stats(); }
+  std::size_t shard_count() const { return cache_.shard_count(); }
+  std::size_t max_entries() const { return cache_.max_entries(); }
 
  private:
-  struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, EvalRecord> map;
-    /// In-flight computes: key → ticket of the compute allowed to publish.
-    /// invalidate/clear drop the ticket, so a mid-compute invalidation
-    /// suppresses exactly that key's publish and nothing else.
-    std::unordered_map<std::string, std::uint64_t> pending;
-    std::uint64_t next_ticket = 0;
-  };
-
-  Shard& shard_for(const std::string& key);
-  const Shard& shard_for(const std::string& key) const;
-
-  std::vector<Shard> shards_;
-  mutable std::atomic<std::uint64_t> hits_{0};
-  mutable std::atomic<std::uint64_t> misses_{0};
-  std::atomic<std::uint64_t> invalidations_{0};
+  StripedMemoCache<EvalRecord> cache_;
 };
 
 }  // namespace rsp::runtime

@@ -1,0 +1,107 @@
+// Sharded memo table for step-1 mapping products.
+//
+// Step 1 of the Fig. 7 flow — mapping a kernel and scheduling it on the
+// base architecture — is recomputed identically for every `dse`, `eval`
+// and `map` request touching the same workload, and it dominates the
+// serial front-end of a serving process. This cache memoizes the
+// dse::KernelPrep (placed program + base configuration context) per
+// stable (kernel, array-spec) fingerprint so repeated requests skip
+// remapping entirely. Records are immutable and shared by pointer: a hit
+// is one shared_ptr copy, never a program copy, and eviction just drops a
+// reference (in-flight readers keep theirs alive).
+//
+// Key composition: the kernel's canonical name plus a content hash of
+// everything the mapper reads — the array spec, the mapping hints, the
+// reduction spec and the body-graph structure (trip count, node kinds,
+// operand/carried edges, immediates, memory array names). This closes the
+// alias trap where one kernel name is paired with two different mapping
+// directives against a warm shared cache. The one thing the hash cannot
+// see is a memory node's index *function* (an opaque closure); two
+// workloads that differ solely there must use distinct names — the
+// kernels catalogue guarantees this.
+//
+// Alongside the step-1 records the cache keeps a second table memoizing
+// the step-2/3 fast performance estimates derived from them
+// (core::estimate_performance of a base context on a target architecture,
+// keyed by mapping key + architecture fingerprint). Repeated explorations
+// of the same domain then collapse the whole serial front-end — mapping,
+// base scheduling *and* the O(grid × kernels) estimation sweep — to
+// lookups, the same way the EvalCache collapses repeated step-5 work.
+//
+// Concurrency, capacity bounding and segmented-LRU eviction come from
+// StripedMemoCache (see runtime/striped_cache.hpp) — the same machinery
+// behind the EvalCache.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/estimate.hpp"
+#include "dse/explorer.hpp"
+#include "kernels/workload.hpp"
+#include "runtime/striped_cache.hpp"
+
+namespace rsp::runtime {
+
+class MappingCache {
+ public:
+  /// `max_entries` bounds each table independently (segmented-LRU
+  /// eviction, enforced per shard as ceil(max_entries / shards)); 0 keeps
+  /// them unbounded.
+  explicit MappingCache(std::size_t shards = 16, std::size_t max_entries = 0)
+      : cache_(shards, max_entries), estimates_(shards, max_entries) {}
+
+  MappingCache(const MappingCache&) = delete;
+  MappingCache& operator=(const MappingCache&) = delete;
+
+  /// Stable fingerprint of everything the mapper reads (see file comment).
+  static std::string key(const kernels::Workload& workload);
+
+  /// The memoized step 1: returns the cached record or computes it via
+  /// dse::prepare_kernel (outside any shard lock) and publishes it. The
+  /// returned record is immutable and safe to share across threads.
+  /// `mapping_key` must be key(workload) — callers touching a workload
+  /// repeatedly compute it once.
+  std::shared_ptr<const dse::KernelPrep> get_or_map(
+      const std::string& mapping_key, const kernels::Workload& workload);
+  std::shared_ptr<const dse::KernelPrep> get_or_map(
+      const kernels::Workload& workload) {
+    return get_or_map(key(workload), workload);
+  }
+
+  /// The memoized steps 2–3 for one (kernel, architecture) pair: the fast
+  /// performance estimate of `base_context` (the step-1 product under
+  /// `mapping_key`) on `target`. Deterministic, so a cached value is
+  /// bit-identical to a fresh core::estimate_performance call.
+  core::PerfEstimate get_or_estimate(
+      const std::string& mapping_key,
+      const sched::ConfigurationContext& base_context,
+      const arch::Architecture& target);
+
+  std::optional<std::shared_ptr<const dse::KernelPrep>> lookup(
+      const std::string& key) const {
+    return cache_.lookup(key);
+  }
+
+  /// Removes one step-1 record and every estimate derived from it (their
+  /// keys are prefixed by the mapping key); returns whether the record
+  /// existed. The next get_or_map remaps — stale records are never served.
+  bool invalidate(const std::string& key);
+  void clear() {
+    cache_.clear();
+    estimates_.clear();
+  }
+
+  CacheStats stats() const { return cache_.stats(); }
+  CacheStats estimate_stats() const { return estimates_.stats(); }
+  std::size_t shard_count() const { return cache_.shard_count(); }
+  std::size_t max_entries() const { return cache_.max_entries(); }
+
+ private:
+  StripedMemoCache<std::shared_ptr<const dse::KernelPrep>> cache_;
+  StripedMemoCache<core::PerfEstimate> estimates_;
+};
+
+}  // namespace rsp::runtime

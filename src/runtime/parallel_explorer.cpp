@@ -1,5 +1,6 @@
 #include "runtime/parallel_explorer.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -95,6 +96,102 @@ EvalRecord cached_measure(EvalCache* cache, const std::string& key,
 
 }  // namespace
 
+dse::PreparedExploration prepare_parallel(
+    const dse::Explorer& explorer,
+    const std::vector<kernels::Workload>& domain, ThreadPool& pool,
+    MappingCache* mapping_cache) {
+  if (domain.empty())
+    throw InvalidArgumentError("exploration requires at least one kernel");
+  for (const kernels::Workload& w : domain)
+    if (w.array != explorer.array())
+      throw InvalidArgumentError("workload '" + w.name +
+                                 "' targets a different array geometry");
+
+  const arch::Architecture base = explorer.base_architecture();
+
+  // Step 1: one task per kernel, memoized. Records land in fixed slots and
+  // futures are joined in domain order, so both the reduction and the
+  // first-error-wins semantics match the serial loop. Mapping keys are
+  // O(kernel) to hash — computed once per kernel and reused by the
+  // estimate lookups below.
+  std::vector<std::string> mapping_keys(domain.size());
+  if (mapping_cache != nullptr)
+    for (std::size_t k = 0; k < domain.size(); ++k)
+      mapping_keys[k] = MappingCache::key(domain[k]);
+  std::vector<std::shared_ptr<const dse::KernelPrep>> records(domain.size());
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(domain.size());
+    submit_then_join(futures, [&] {
+      for (std::size_t k = 0; k < domain.size(); ++k) {
+        futures.push_back(pool.submit([&, k] {
+          const kernels::Workload& w = domain[k];
+          records[k] = mapping_cache != nullptr
+                           ? mapping_cache->get_or_map(mapping_keys[k], w)
+                           : std::make_shared<const dse::KernelPrep>(
+                                 dse::prepare_kernel(w));
+        }));
+      }
+    });
+  }
+
+  dse::PreparedExploration prep;
+  dse::ExplorationResult& result = prep.result;
+  std::vector<const sched::ConfigurationContext*> context_ptrs;
+  context_ptrs.reserve(domain.size());
+  for (std::size_t k = 0; k < domain.size(); ++k) {
+    prep.kernel_names.push_back(domain[k].name);
+    prep.programs.push_back(records[k]->program);
+    context_ptrs.push_back(&records[k]->base_context);
+    result.base_cycles += records[k]->base_context.length();
+  }
+  result.base_area = explorer.synthesis().area(base);
+  result.base_time_ns = static_cast<double>(result.base_cycles) *
+                        explorer.synthesis().clock_ns(base);
+  const double base_area_raw = explorer.base_area_raw();
+  const double base_time_ns = result.base_time_ns;
+
+  // Steps 2–3: the enumerated grid in chunks. Each slot i holds exactly
+  // the candidate the serial loop would push i-th, so the post-join
+  // assembly preserves the serial candidate order bit for bit. Estimates
+  // are memoized per (mapping key, architecture fingerprint) — repeated
+  // domains skip the whole sweep, not just the remapping.
+  const dse::EstimateFn estimate =
+      [&](std::size_t k, const arch::Architecture& target) {
+        if (mapping_cache == nullptr)
+          return core::estimate_performance(*context_ptrs[k], target);
+        return mapping_cache->get_or_estimate(mapping_keys[k],
+                                              *context_ptrs[k], target);
+      };
+  const std::vector<dse::DesignPoint> points = explorer.enumerate_points();
+  std::vector<dse::Candidate> slots(points.size());
+  const std::size_t chunk = std::max<std::size_t>(
+      1, points.size() /
+             (static_cast<std::size_t>(pool.thread_count()) * 4));
+  {
+    std::vector<std::future<void>> futures;
+    futures.reserve(points.size() / chunk + 1);
+    submit_then_join(futures, [&] {
+      for (std::size_t lo = 0; lo < points.size(); lo += chunk) {
+        const std::size_t hi = std::min(lo + chunk, points.size());
+        futures.push_back(pool.submit([&, lo, hi] {
+          for (std::size_t i = lo; i < hi; ++i)
+            slots[i] = explorer.estimate_candidate(
+                points[i], base, context_ptrs.size(), estimate,
+                base_area_raw, base_time_ns);
+        }));
+      }
+    });
+  }
+  result.candidates.reserve(slots.size());
+  for (dse::Candidate& cand : slots)
+    result.candidates.push_back(std::move(cand));
+
+  // Step 4: the serial Pareto reduction over the joined estimates.
+  explorer.pareto_filter(result);
+  return prep;
+}
+
 void evaluate_pareto_exact(const std::vector<sched::PlacedProgram>& programs,
                            const std::vector<std::string>& kernel_names,
                            dse::ExplorationResult& result, ThreadPool& pool,
@@ -164,18 +261,31 @@ ParallelExplorer::ParallelExplorer(arch::ArraySpec array,
                                    synth::SynthesisModel synth,
                                    RuntimeOptions options)
     : explorer_(array, config, std::move(synth)),
-      options_(std::move(options)) {}
+      options_(std::move(options)) {
+  // A private mapping cache is always worth having (memoization is
+  // bit-identical by construction): repeated explore()/prepare() calls on
+  // one instance skip remapping even when the caller wired nothing up.
+  if (!options_.mapping_cache)
+    options_.mapping_cache =
+        std::make_shared<MappingCache>(16, options_.max_entries);
+}
+
+dse::PreparedExploration ParallelExplorer::prepare(
+    const std::vector<kernels::Workload>& domain) const {
+  PoolLease lease(options_);
+  return prepare_parallel(explorer_, domain, lease.pool(),
+                          options_.mapping_cache.get());
+}
 
 dse::ExplorationResult ParallelExplorer::explore(
     const std::vector<kernels::Workload>& domain) const {
-  dse::PreparedExploration prep = explorer_.prepare(domain);
+  PoolLease lease(options_);
+  dse::PreparedExploration prep = prepare_parallel(
+      explorer_, domain, lease.pool(), options_.mapping_cache.get());
   dse::ExplorationResult result = std::move(prep.result);
 
-  {
-    PoolLease lease(options_);
-    evaluate_pareto_exact(prep.programs, prep.kernel_names, result,
-                          lease.pool(), options_.cache.get());
-  }
+  evaluate_pareto_exact(prep.programs, prep.kernel_names, result,
+                        lease.pool(), options_.cache.get());
 
   explorer_.select_optimum(result);
   return result;

@@ -301,6 +301,70 @@ TEST(Protocol, DecodeV2RejectsBadEnvelopes) {
       "'delay_ms' must be an integer");
 }
 
+TEST(Protocol, RejectsNonsensicalDseConfigsInBand) {
+  // An explicit zero/negative bound or ratio would silently explore an
+  // empty or nonsensical grid — it must come back as an in-band error.
+  const auto expect_rejected = [](const std::string& config_fragment,
+                                  const std::string& needle) {
+    const std::string text =
+        R"({"protocol_version": 2, "id": "a", "op": "dse", "config": {)" +
+        config_fragment + "}}";
+    try {
+      decode_v2_request(util::Json::parse(text));
+      FAIL() << "expected rejection of " << text;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << text << " -> " << e.what();
+    }
+  };
+  expect_rejected(R"("max_units_per_row": 0)",
+                  "'max_units_per_row' must be positive");
+  expect_rejected(R"("max_units_per_col": -1)",
+                  "'max_units_per_col' must be positive");
+  expect_rejected(R"("max_stages": 0)", "'max_stages' must be positive");
+  expect_rejected(R"("max_area_ratio": 0)",
+                  "'max_area_ratio' must be positive");
+  expect_rejected(R"("max_time_ratio": -2.5)",
+                  "'max_time_ratio' must be positive");
+  expect_rejected(R"("pareto_epsilon": -0.1)",
+                  "'pareto_epsilon' must be non-negative");
+
+  // The same strictness guards the v1 decode path, and a Service turns it
+  // into an {"ok": false} body rather than a dead request.
+  EXPECT_THROW(decode_v1_request(util::Json::parse(
+                   R"({"op": "dse", "config": {"max_stages": 0}})")),
+               InvalidArgumentError);
+  Service service(small_options(1, 1));
+  DseRequest bad;
+  bad.config.max_stages = 0;
+  const util::Json body = service.handle(bad);
+  EXPECT_FALSE(body.at("ok").as_bool());
+  EXPECT_NE(body.at("error").as_string().find("max_stages"),
+            std::string::npos);
+}
+
+TEST(Service, CacheStatsReportMappingAndEvictionFields) {
+  ServiceOptions options = small_options(1, 1);
+  options.cache_max_entries = 64;
+  const Service service(options);
+  service.eval({"SAD"});
+  service.map({"SAD", "RSP#2"});  // served without remapping
+
+  const CacheStatsResponse stats = service.cache_stats({});
+  EXPECT_EQ(stats.stats.max_entries, 64u);
+  EXPECT_EQ(stats.mapping_stats.max_entries, 64u);
+  EXPECT_EQ(stats.mapping_stats.entries, 1u);  // one kernel mapped once
+  EXPECT_GT(stats.mapping_stats.hits, 0u);     // map reused eval's record
+
+  const util::Json body = service.handle(CacheStatsRequest{});
+  EXPECT_TRUE(body.at("ok").as_bool());
+  EXPECT_EQ(body.at("evictions").as_number(), 0);
+  EXPECT_EQ(body.at("max_entries").as_number(), 64);
+  EXPECT_EQ(body.at("mapping").at("entries").as_number(), 1);
+  EXPECT_TRUE(body.at("estimates").is_object());
+  EXPECT_GE(body.at("estimates").at("entries").as_number(), 0);
+}
+
 TEST(Protocol, DecodeV2ParsesTypedPayloads) {
   const util::Json doc = util::Json::parse(
       R"({"protocol_version": 2, "id": "a", "op": "dse",)"

@@ -46,6 +46,61 @@ TEST(Explorer, LabelsAndValidation) {
   EXPECT_THROW(Explorer(arch::ArraySpec{}, bad), InvalidArgumentError);
 }
 
+TEST(Explorer, ConfigValidationNamesTheOffendingField) {
+  const auto expect_rejected = [](ExplorerConfig config,
+                                  const std::string& needle) {
+    try {
+      config.validate();
+      FAIL() << "expected rejection mentioning " << needle;
+    } catch (const InvalidArgumentError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  ExplorerConfig config;
+  config.validate();  // defaults are well-formed
+
+  config.max_units_per_row = -1;
+  expect_rejected(config, "max_units_per_row");
+  config = ExplorerConfig{};
+  config.max_units_per_col = -2;
+  expect_rejected(config, "max_units_per_col");
+  config = ExplorerConfig{};
+  config.max_stages = 0;
+  expect_rejected(config, "max_stages");
+  config = ExplorerConfig{};
+  config.max_area_ratio = 0.0;
+  expect_rejected(config, "max_area_ratio");
+  config = ExplorerConfig{};
+  config.max_time_ratio = -1.0;
+  expect_rejected(config, "max_time_ratio");
+  config = ExplorerConfig{};
+  config.pareto_epsilon = -0.01;
+  expect_rejected(config, "pareto_epsilon");
+
+  // Zero unit bounds stay legal for programmatic use: they restrict the
+  // grid to one sharing dimension (or the base point alone).
+  config = ExplorerConfig{};
+  config.max_units_per_row = 0;
+  config.max_units_per_col = 0;
+  config.validate();
+}
+
+TEST(Explorer, EnumeratesTheSerialGridOrder) {
+  ExplorerConfig config;
+  config.max_units_per_row = 1;
+  config.max_units_per_col = 1;
+  config.max_stages = 2;
+  const Explorer explorer(arch::ArraySpec{}, config);
+  const std::vector<DesignPoint> points = explorer.enumerate_points();
+  // upr-major, then upc, then stages; the base point skips stages > 1.
+  std::vector<std::string> labels;
+  for (const DesignPoint& p : points) labels.push_back(p.label());
+  const std::vector<std::string> expected = {
+      "Base", "1c", "1c/p2", "1r", "1r/p2", "1r+1c", "1r+1c/p2"};
+  EXPECT_EQ(labels, expected);
+}
+
 class ExplorerFlow : public ::testing::Test {
  protected:
   static const ExplorationResult& result() {

@@ -16,7 +16,9 @@
 #include "kernels/registry.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/eval_cache.hpp"
+#include "runtime/mapping_cache.hpp"
 #include "runtime/parallel_explorer.hpp"
+#include "runtime/striped_cache.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/mapper.hpp"
 #include "util/error.hpp"
@@ -261,6 +263,217 @@ TEST(EvalCache, ConcurrentGetOrComputeYieldsOneConsistentValue) {
   EXPECT_EQ(cache.stats().entries, 8u);
 }
 
+// ------------------------------------------------------ bounded eviction
+TEST(EvalCache, EvictsLeastRecentlyUsedWhenBounded) {
+  EvalCache cache(1, 4);  // one shard so capacity is exact
+  for (int v = 0; v < 4; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    cache.insert("k" + std::to_string(v), r);
+  }
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().max_entries, 4u);
+
+  // A fifth insert evicts the least-recently-used probation key (k0).
+  EvalRecord r;
+  r.cycles = 4;
+  cache.insert("k4", r);
+  EXPECT_EQ(cache.stats().entries, 4u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_FALSE(cache.lookup("k0").has_value());
+  EXPECT_TRUE(cache.lookup("k1").has_value());
+}
+
+TEST(EvalCache, SegmentedLruProtectsRepeatedlyHitKeysFromScans) {
+  EvalCache cache(1, 4);
+  EvalRecord hot;
+  hot.cycles = 99;
+  cache.insert("hot", hot);
+  ASSERT_TRUE(cache.lookup("hot").has_value());  // promoted to protected
+
+  // A scan of one-shot keys three times the capacity churns through the
+  // probation segment but must not flush the protected entry.
+  for (int v = 0; v < 12; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    cache.insert("scan" + std::to_string(v), r);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  const auto served = cache.lookup("hot");
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->cycles, 99);
+}
+
+TEST(EvalCache, NewKeysAreNeverTheirOwnEvictionVictim) {
+  // Degenerate small shards: with capacity 1 and the sole resident entry
+  // promoted to the protected segment, an insert must evict the protected
+  // entry — not the key just admitted, which would pin the old entry
+  // forever and make the cache reject every new key.
+  EvalCache cache(1, 1);
+  EvalRecord a;
+  a.cycles = 1;
+  cache.insert("a", a);
+  ASSERT_TRUE(cache.lookup("a").has_value());  // promote to protected
+
+  EvalRecord b;
+  b.cycles = 2;
+  cache.insert("b", b);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  const auto served = cache.lookup("b");
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->cycles, 2);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(EvalCache, UnboundedByDefault) {
+  EvalCache cache(2);
+  for (int v = 0; v < 256; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    cache.insert("k" + std::to_string(v), r);
+  }
+  EXPECT_EQ(cache.stats().entries, 256u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.stats().max_entries, 0u);
+}
+
+TEST(EvalCache, EvictingCacheSnapshotRoundTrips) {
+  EvalCache cache(2, 8);
+  for (int v = 0; v < 32; ++v) {
+    EvalRecord r;
+    r.cycles = v;
+    cache.insert("k" + std::to_string(v), r);
+  }
+  const CacheStats before = cache.stats();
+  EXPECT_GT(before.evictions, 0u);
+  const util::Json doc = cache.serialize();
+  EXPECT_EQ(doc.at("entries").size(), before.entries);
+
+  // Restoring into an equally-bounded cache keeps every snapshotted entry
+  // (resident count <= capacity), and each survives with its exact value.
+  EvalCache restored(2, 8);
+  EXPECT_EQ(restored.deserialize(doc), before.entries);
+  EXPECT_EQ(restored.stats().entries, before.entries);
+  for (std::size_t i = 0; i < doc.at("entries").size(); ++i) {
+    const util::Json& entry = doc.at("entries").at(i);
+    const auto record = restored.lookup(entry.at("key").as_string());
+    ASSERT_TRUE(record.has_value());
+    EXPECT_EQ(record->cycles, entry.at("cycles").as_number());
+  }
+}
+
+TEST(EvalCache, EvictionUnderConcurrencyStaysConsistent) {
+  // Hammer a small bounded cache from many threads: every get_or_compute
+  // must return the right value for its key regardless of eviction churn,
+  // and the table must end within its (per-shard) bound.
+  EvalCache cache(2, 8);
+  ThreadPool pool(4);
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 256; ++i)
+    futures.push_back(pool.submit([&cache, i] {
+      const int key = i % 32;
+      const EvalRecord served =
+          cache.get_or_compute("k" + std::to_string(key), [key] {
+            EvalRecord r;
+            r.cycles = key;
+            return r;
+          });
+      ASSERT_EQ(served.cycles, key);
+      if (i % 7 == 0) cache.invalidate("k" + std::to_string((key + 1) % 32));
+    }));
+  for (std::future<void>& f : futures) f.get();
+  const CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // Per-shard bound: 2 shards x ceil(8/2) entries.
+  EXPECT_LE(stats.entries, 8u);
+}
+
+// ------------------------------------------------------------ mapping cache
+TEST(MappingCache, KeySeparatesHintsReductionAndGeometry) {
+  const kernels::Workload base = kernels::find_workload("SAD");
+  EXPECT_EQ(MappingCache::key(base), MappingCache::key(base));
+
+  kernels::Workload changed_hints = base;
+  changed_hints.hints.stagger += 1;
+  EXPECT_NE(MappingCache::key(base), MappingCache::key(changed_hints));
+
+  kernels::Workload changed_reduction = base;
+  changed_reduction.reduction.index0 += 1;
+  EXPECT_NE(MappingCache::key(base), MappingCache::key(changed_reduction));
+
+  kernels::Workload changed_array = base;
+  changed_array.array.read_buses_per_row += 1;
+  EXPECT_NE(MappingCache::key(base), MappingCache::key(changed_array));
+
+  // Distinct kernels never share an entry even under an equal layout.
+  EXPECT_NE(MappingCache::key(base),
+            MappingCache::key(kernels::find_workload("MVM")));
+}
+
+TEST(MappingCache, GetOrMapHitsAndMatchesDirectPreparation) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  MappingCache cache;
+  const auto first = cache.get_or_map(w);
+  const auto second = cache.get_or_map(w);
+  EXPECT_EQ(first.get(), second.get());  // one shared record, no remap
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().entries, 1u);
+
+  const dse::KernelPrep direct = dse::prepare_kernel(w);
+  EXPECT_EQ(EvalCache::program_tag(first->program),
+            EvalCache::program_tag(direct.program));
+  EXPECT_EQ(first->base_context.length(), direct.base_context.length());
+}
+
+TEST(MappingCache, InvalidationForcesRemapAndDropsDerivedEstimates) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const std::string key = MappingCache::key(w);
+  MappingCache cache;
+  const auto record = cache.get_or_map(w);
+  const core::PerfEstimate est = cache.get_or_estimate(
+      key, record->base_context, arch::rsp_architecture(2));
+  EXPECT_GT(est.estimated_cycles(), 0);
+  EXPECT_EQ(cache.estimate_stats().entries, 1u);
+
+  EXPECT_TRUE(cache.invalidate(key));
+  EXPECT_FALSE(cache.invalidate(key));  // already gone
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.estimate_stats().entries, 0u);  // derived entries dropped
+
+  // The remap recomputes an identical record (mapping is deterministic).
+  const auto fresh = cache.get_or_map(w);
+  EXPECT_NE(fresh.get(), record.get());
+  EXPECT_EQ(EvalCache::program_tag(fresh->program),
+            EvalCache::program_tag(record->program));
+}
+
+TEST(MappingCache, EstimatesMatchDirectComputation) {
+  const kernels::Workload w = kernels::find_workload("MVM");
+  const std::string key = MappingCache::key(w);
+  MappingCache cache;
+  const auto record = cache.get_or_map(w);
+  for (const arch::Architecture& a :
+       arch::standard_suite(w.array.rows, w.array.cols)) {
+    if (a.shares_multiplier()) {
+      const core::PerfEstimate direct =
+          core::estimate_performance(record->base_context, a);
+      const core::PerfEstimate cached =
+          cache.get_or_estimate(key, record->base_context, a);
+      const core::PerfEstimate warm =
+          cache.get_or_estimate(key, record->base_context, a);
+      EXPECT_EQ(cached.estimated_cycles(), direct.estimated_cycles());
+      EXPECT_EQ(warm.estimated_cycles(), direct.estimated_cycles());
+      EXPECT_EQ(warm.base_cycles, direct.base_cycles);
+      EXPECT_EQ(warm.rs_stall_bound, direct.rs_stall_bound);
+      EXPECT_EQ(warm.rp_overhead, direct.rp_overhead);
+    }
+  }
+  EXPECT_GT(cache.estimate_stats().hits, 0u);
+}
+
 // ------------------------------------------------- parallel vs serial DSE
 void expect_bit_identical(const dse::ExplorationResult& serial,
                           const dse::ExplorationResult& parallel) {
@@ -331,6 +544,94 @@ TEST(ParallelExplorer, RepeatedExplorationServedFromCache) {
   EXPECT_EQ(after_second.hits, after_first.entries);  // every pair reused
   EXPECT_EQ(after_second.entries, after_first.entries);
   expect_bit_identical(first, second);
+}
+
+// ------------------------------------------ parallel vs serial prepare
+void expect_prepared_identical(const dse::PreparedExploration& serial,
+                               const dse::PreparedExploration& parallel) {
+  ASSERT_EQ(serial.kernel_names.size(), parallel.kernel_names.size());
+  for (std::size_t k = 0; k < serial.kernel_names.size(); ++k) {
+    EXPECT_EQ(serial.kernel_names[k], parallel.kernel_names[k]);
+    EXPECT_EQ(EvalCache::program_tag(serial.programs[k]),
+              EvalCache::program_tag(parallel.programs[k]));
+  }
+  const dse::ExplorationResult& s = serial.result;
+  const dse::ExplorationResult& p = parallel.result;
+  EXPECT_EQ(s.base_cycles, p.base_cycles);
+  EXPECT_EQ(s.base_area, p.base_area);
+  EXPECT_EQ(s.base_time_ns, p.base_time_ns);
+  ASSERT_EQ(s.candidates.size(), p.candidates.size());
+  for (std::size_t i = 0; i < s.candidates.size(); ++i) {
+    const dse::Candidate& sc = s.candidates[i];
+    const dse::Candidate& pc = p.candidates[i];
+    EXPECT_EQ(sc.point.label(), pc.point.label());
+    EXPECT_EQ(sc.architecture.name, pc.architecture.name);
+    EXPECT_EQ(sc.rejected, pc.rejected) << sc.point.label();
+    EXPECT_EQ(sc.reject_reason, pc.reject_reason) << sc.point.label();
+    EXPECT_EQ(sc.pareto, pc.pareto) << sc.point.label();
+    EXPECT_EQ(sc.estimated_cycles, pc.estimated_cycles) << sc.point.label();
+    // Bitwise double equality is intended: the parallel path must replay
+    // the serial computation exactly.
+    EXPECT_EQ(sc.area_estimate, pc.area_estimate) << sc.point.label();
+    EXPECT_EQ(sc.area_synthesized, pc.area_synthesized) << sc.point.label();
+    EXPECT_EQ(sc.clock_ns, pc.clock_ns) << sc.point.label();
+    EXPECT_EQ(sc.estimated_time_ns, pc.estimated_time_ns)
+        << sc.point.label();
+    EXPECT_FALSE(pc.evaluated);  // prepare stops before step 5
+  }
+  EXPECT_EQ(p.selected, -1);
+}
+
+TEST(ParallelExplorer, PrepareBitIdenticalToSerialOnPaperDomain) {
+  // The prepare acceptance gate: serial steps 1-4 and the 4-thread fanned
+  // version (with the mapping memo-cache interposed) must agree on every
+  // candidate vector, reject reason and Pareto flag of the full paper
+  // domain under the full default grid — and stay identical when served
+  // warm from the cache.
+  const std::vector<kernels::Workload> domain = kernels::paper_suite();
+  const dse::ExplorerConfig config;  // full default enumeration
+
+  const dse::Explorer serial(arch::ArraySpec{}, config);
+  const dse::PreparedExploration serial_prep = serial.prepare(domain);
+
+  RuntimeOptions options;
+  options.threads = 4;
+  options.mapping_cache = std::make_shared<MappingCache>();
+  const ParallelExplorer parallel(arch::ArraySpec{}, config,
+                                  synth::SynthesisModel(), options);
+  const dse::PreparedExploration cold = parallel.prepare(domain);
+  expect_prepared_identical(serial_prep, cold);
+  EXPECT_EQ(options.mapping_cache->stats().entries, domain.size());
+
+  const dse::PreparedExploration warm = parallel.prepare(domain);
+  expect_prepared_identical(serial_prep, warm);
+  EXPECT_EQ(options.mapping_cache->stats().hits, domain.size());
+  EXPECT_GT(options.mapping_cache->estimate_stats().hits, 0u);
+}
+
+TEST(ParallelExplorer, PrepareWorksWithoutMappingCache) {
+  const std::vector<kernels::Workload> domain = kernels::dsp_suite();
+  dse::ExplorerConfig config;
+  config.max_units_per_row = 2;
+  config.max_units_per_col = 1;
+  config.max_stages = 2;
+  const dse::Explorer serial(arch::ArraySpec{}, config);
+  ThreadPool pool(2);
+  const dse::PreparedExploration parallel_prep =
+      prepare_parallel(serial, domain, pool, nullptr);
+  expect_prepared_identical(serial.prepare(domain), parallel_prep);
+}
+
+TEST(ParallelExplorer, PrepareRejectsBadDomains) {
+  const dse::Explorer explorer((arch::ArraySpec()));
+  ThreadPool pool(2);
+  EXPECT_THROW(prepare_parallel(explorer, {}, pool, nullptr),
+               InvalidArgumentError);
+  kernels::Workload wrong_geometry = kernels::find_workload("SAD");
+  wrong_geometry.array.rows = 4;
+  EXPECT_THROW(
+      prepare_parallel(explorer, {wrong_geometry}, pool, nullptr),
+      InvalidArgumentError);
 }
 
 TEST(ParallelExplorer, WorksWithoutCacheAndWithExternalPool) {

@@ -89,7 +89,23 @@ int cmd_simulate(const api::Service& service, const std::string& kernel,
   return resp.matches_golden ? 0 : 1;
 }
 
-int cmd_explore(const api::Service& service) {
+// `explore` and its alias `dse` run the full Fig. 7 flow over the paper
+// domain; --threads sizes the evaluation pool the prepare and exact-eval
+// stages fan out on.
+int cmd_explore(const std::vector<std::string>& args) {
+  api::ServiceOptions options;
+  options.max_inflight = 1;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--threads") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--threads requires a worker count");
+      options.threads = positive_int_flag("--threads", args[++i]);
+    } else {
+      throw InvalidArgumentError("unknown flag '" + args[i] + "' for " +
+                                 args[0] + " (--threads N)");
+    }
+  }
+  const api::Service service(options);
   const api::DseResponse resp = service.dse({});
   const dse::Candidate& best = resp.result.best();
   std::cout << "explored " << resp.result.candidates.size()
@@ -110,9 +126,15 @@ int cmd_batch(const std::vector<std::string>& args) {
       if (i + 1 >= args.size())
         throw InvalidArgumentError("--threads requires a worker count");
       options.threads = positive_int_flag("--threads", args[++i]);
+    } else if (args[i] == "--cache-entries") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--cache-entries requires an entry count");
+      options.cache_max_entries = static_cast<std::size_t>(
+          positive_int_flag("--cache-entries", args[++i]));
     } else if (!args[i].empty() && args[i][0] == '-') {
-      throw InvalidArgumentError("unknown flag '" + args[i] +
-                                 "' for batch (--threads N, --pretty)");
+      throw InvalidArgumentError(
+          "unknown flag '" + args[i] +
+          "' for batch (--threads N, --cache-entries N, --pretty)");
     } else if (path.empty()) {
       path = args[i];
     } else {
@@ -147,10 +169,15 @@ int cmd_serve(const std::vector<std::string>& args) {
       if (i + 1 >= args.size())
         throw InvalidArgumentError("--max-inflight requires a request count");
       options.max_inflight = positive_int_flag("--max-inflight", args[++i]);
+    } else if (args[i] == "--cache-entries") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--cache-entries requires an entry count");
+      options.cache_max_entries = static_cast<std::size_t>(
+          positive_int_flag("--cache-entries", args[++i]));
     } else {
       throw InvalidArgumentError("unknown flag '" + args[i] +
                                  "' for serve (--threads N, "
-                                 "--max-inflight N)");
+                                 "--max-inflight N, --cache-entries N)");
     }
   }
   api::Service service(options);
@@ -202,12 +229,13 @@ int usage() {
          "kernel\n"
          "  simulate <kernel> <arch>          run on the cycle simulator, "
          "verify\n"
-         "  explore                           DSE over the full kernel "
+         "  explore|dse [--threads N]         DSE over the full kernel "
          "domain\n"
-         "  batch <requests.json> [--threads N] [--pretty]\n"
+         "  batch <requests.json> [--threads N] [--cache-entries N] "
+         "[--pretty]\n"
          "                                    run a v1 batch document over "
          "the service\n"
-         "  serve [--threads N] [--max-inflight N]\n"
+         "  serve [--threads N] [--max-inflight N] [--cache-entries N]\n"
          "                                    stream v2 NDJSON requests "
          "stdin->stdout\n"
          "  rtl <arch>                        emit structural Verilog to "
@@ -232,6 +260,7 @@ int main(int argc, char** argv) {
     // silently ignored, so scripts can trust the exit code.
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "explore" || cmd == "dse") return cmd_explore(args);
 
     // One service per invocation, always with a single dispatch thread —
     // the CLI runs exactly one request, so only eval/explore's inner
@@ -245,8 +274,6 @@ int main(int argc, char** argv) {
     };
     const auto light_service = [&] { return one_shot_service(1); };
     if (cmd == "list" && args.size() == 1) return cmd_list(light_service());
-    if (cmd == "explore" && args.size() == 1)
-      return cmd_explore(one_shot_service(0));
     if (cmd == "eval" && args.size() >= 2) {
       bool as_json = false;
       for (std::size_t i = 2; i < args.size(); ++i) {
