@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <deque>
 #include <future>
 #include <istream>
 #include <mutex>
@@ -22,16 +23,58 @@ namespace {
 /// an endless stream does not accumulate one future per request forever.
 constexpr std::size_t kPruneThreshold = 64;
 
+/// Duplicate-id tracker over a sliding window of accepted ids: constant
+/// space for any stream lifetime. Only *accepted* ids enter the window —
+/// a rejected duplicate must not evict (and thereby re-admit) the id it
+/// collided with.
+class SeenIdWindow {
+ public:
+  explicit SeenIdWindow(std::size_t window) : window_(window) {}
+
+  /// True when `id` was accepted (not seen within the window).
+  bool insert(const std::string& id) {
+    if (!seen_.insert(id).second) return false;
+    if (window_ == 0) return true;  // unbounded
+    order_.push_back(id);
+    if (order_.size() > window_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+ private:
+  std::size_t window_;
+  std::unordered_set<std::string> seen_;
+  std::deque<std::string> order_;
+};
+
 }  // namespace
 
-ServeResult serve(Service& service, std::istream& in, std::ostream& out) {
+std::size_t count_v1_result_errors(const util::Json& response) {
+  if (!response.is_object() || !response.contains("results"))
+    return 1;  // a top-level error document: one failure, answered whole
+  const util::Json& results = response.at("results");
+  if (!results.is_array()) return 1;
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const util::Json& slot = results.at(i);
+    if (!slot.is_object() || !slot.contains("ok") ||
+        !slot.at("ok").is_bool() || !slot.at("ok").as_bool())
+      ++errors;
+  }
+  return errors;
+}
+
+ServeResult serve(Service& service, std::istream& in, std::ostream& out,
+                  const ServeOptions& options) {
   std::mutex out_mutex;
   std::atomic<std::size_t> errors{0};
   // Set when the output stream fails: responses are being lost, so the
   // read loop stops accepting new requests and the caller is told.
   std::atomic<bool> output_failed{false};
   std::size_t requests = 0;
-  std::unordered_set<std::string> seen_ids;
+  SeenIdWindow seen_ids(options.seen_id_window);
   std::vector<std::future<void>> inflight;
 
   // One response per line, written whole under the lock: concurrent
@@ -76,12 +119,19 @@ ServeResult serve(Service& service, std::istream& in, std::ostream& out) {
       // (one document in, one document out — the v1 contract), answered as
       // a single positional-response line. Its requests still fan out
       // across the service's pools; per-request failures live in result
-      // slots, so fold them into the error count here.
-      const util::Json response = run_v1_batch(doc, service);
-      const util::Json& results = response.at("results");
-      for (std::size_t i = 0; i < results.size(); ++i)
-        if (!results.at(i).at("ok").as_bool())
-          errors.fetch_add(1, std::memory_order_relaxed);
+      // slots, so fold them into the error count here. The shim's output
+      // shape is never trusted: a top-level error document (or a throw,
+      // e.g. bad_alloc assembling a huge response) is answered in-band
+      // instead of unwinding the stream.
+      util::Json response;
+      try {
+        response = run_v1_batch(doc, service);
+      } catch (const std::exception& e) {
+        write_error(util::Json(), e.what());
+        return;
+      }
+      errors.fetch_add(count_v1_result_errors(response),
+                       std::memory_order_relaxed);
       write_line(response);
       return;
     }
@@ -101,10 +151,10 @@ ServeResult serve(Service& service, std::istream& in, std::ostream& out) {
       return;
     }
 
-    // Ids must be unique for the stream's lifetime — a reused id would
-    // make out-of-order responses ambiguous.
+    // Ids must be unique within the recent-request window — a reused id
+    // would make out-of-order responses ambiguous.
     const std::string id_key = id.dump();
-    if (!seen_ids.insert(id_key).second) {
+    if (!seen_ids.insert(id_key)) {
       write_error(id, "duplicate request id " + id_key);
       return;
     }

@@ -9,10 +9,12 @@
 // protocol_version, a duplicate id, ...) produce an in-band
 // {"ok": false, "error": ...} response on the output stream and never
 // terminate the loop; `id` is echoed when it could be extracted and null
-// otherwise. Request ids must be unique for the lifetime of the stream —
-// enforcing that retains one id string per accepted request, the one piece
-// of per-request state the loop keeps forever (budget roughly
-// bytes-per-id × requests for very long-lived streams).
+// otherwise. Request ids must be unique within a sliding window of the
+// stream's most recently accepted requests (ServeOptions::seen_id_window,
+// default kDefaultSeenIdWindow): a duplicate inside the window is rejected
+// in-band, while an id older than the window may be reused — bounding
+// duplicate tracking to window-many id strings keeps a long-lived socket
+// connection from accumulating one id per request forever.
 //
 // A line holding a JSON *array* is accepted as a v1 batch document through
 // the compatibility shim: it is executed inline (blocking the read loop,
@@ -24,8 +26,21 @@
 #include <iosfwd>
 
 #include "api/service.hpp"
+#include "util/json.hpp"
 
 namespace rsp::api {
+
+/// Duplicate-id tracking bound: ids are guaranteed unique only among the
+/// most recent this-many accepted requests of one stream (~64k id strings
+/// of state at worst, regardless of stream lifetime).
+inline constexpr std::size_t kDefaultSeenIdWindow = 65536;
+
+struct ServeOptions {
+  /// Sliding-window size for duplicate-id rejection; 0 disables the bound
+  /// (every id retained for the stream's lifetime, the pre-socket
+  /// behaviour).
+  std::size_t seen_id_window = kDefaultSeenIdWindow;
+};
 
 struct ServeResult {
   std::size_t requests = 0;  ///< lines answered, including error responses
@@ -39,6 +54,13 @@ struct ServeResult {
 /// Reads requests from `in` until EOF (or until `out` fails), streaming
 /// responses to `out`. Returns after every in-flight request has completed
 /// and been written.
-ServeResult serve(Service& service, std::istream& in, std::ostream& out);
+ServeResult serve(Service& service, std::istream& in, std::ostream& out,
+                  const ServeOptions& options = {});
+
+/// Failed result slots in a v1 batch response document. A response that is
+/// not the expected {"results": [...]} shape (a top-level error document,
+/// say) counts as one error instead of throwing — the serve loop must keep
+/// running whatever run_v1_batch hands back.
+std::size_t count_v1_result_errors(const util::Json& response);
 
 }  // namespace rsp::api

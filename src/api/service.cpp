@@ -286,11 +286,17 @@ PingResponse dispatch_typed(const Service& s, const PingRequest& r) {
 
 util::Json Service::handle(const Request& request) const {
   try {
-    return std::visit(
+    util::Json body = std::visit(
         [this](const auto& typed) {
           return to_body(dispatch_typed(*this, typed));
         },
         request);
+    // The transport's contribution to cache_stats (see
+    // set_stats_extension): merged here so every path — typed, serve,
+    // batch — reports the same document.
+    if (stats_extension_ && std::holds_alternative<CacheStatsRequest>(request))
+      body.set("server", stats_extension_());
+    return body;
   } catch (const std::exception& e) {
     // rsp::Error and anything else (bad_alloc on an oversized DSE space,
     // ...): failures travel in-band, never out of the dispatcher.

@@ -253,6 +253,17 @@ class Service {
   std::future<void> submit(Request request,
                            std::function<void(util::Json body)> done) const;
 
+  /// Transport hook: when set, successful `cache_stats` bodies gain a
+  /// "server" field holding `extension()`'s document — how the socket
+  /// front-end folds its per-connection counters into the one stats op
+  /// every client already speaks. Must be installed before requests are
+  /// dispatched (the function is read concurrently, without locking, from
+  /// dispatch threads); an extension that throws turns the response into
+  /// the usual in-band error.
+  void set_stats_extension(std::function<util::Json()> extension) {
+    stats_extension_ = std::move(extension);
+  }
+
   int thread_count() const { return workers_.thread_count(); }
   int max_inflight() const { return dispatch_.thread_count(); }
   const std::shared_ptr<runtime::EvalCache>& cache() const { return cache_; }
@@ -278,6 +289,8 @@ class Service {
   std::shared_ptr<runtime::MappingCache> mapping_cache_;
   /// Built once; read-only after construction (lookups are concurrent).
   std::vector<kernels::Workload> catalogue_;
+  /// Set once before serving starts, read concurrently afterwards.
+  std::function<util::Json()> stats_extension_;
   mutable runtime::ThreadPool workers_;
   mutable runtime::ThreadPool dispatch_;
 };

@@ -266,9 +266,8 @@ class Parser {
     }
   }
 
-  // Decodes \uXXXX (BMP only; surrogate pairs are rejected — escape() never
-  // emits them) to UTF-8.
-  std::string parse_unicode_escape() {
+  // The four hex digits of one \uXXXX escape (the "\u" already consumed).
+  unsigned parse_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -283,16 +282,40 @@ class Parser {
       else
         fail("invalid hex digit in \\u escape");
     }
-    if (code >= 0xD800 && code <= 0xDFFF)
-      fail("surrogate pairs are not supported");
+    return code;
+  }
+
+  // Decodes \uXXXX to UTF-8. Astral-plane code points arrive as a UTF-16
+  // surrogate *pair* of escapes (an emoji in a request id, say) and decode
+  // to the 4-byte UTF-8 sequence; a lone surrogate has no code point and is
+  // rejected either way.
+  std::string parse_unicode_escape() {
+    unsigned code = parse_hex4();
+    if (code >= 0xDC00 && code <= 0xDFFF)
+      fail("lone low surrogate in \\u escape");
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+          text_[pos_ + 1] != 'u')
+        fail("high surrogate not followed by a \\u escape");
+      pos_ += 2;
+      const unsigned low = parse_hex4();
+      if (low < 0xDC00 || low > 0xDFFF)
+        fail("high surrogate not followed by a low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
     std::string out;
     if (code < 0x80) {
       out += static_cast<char>(code);
     } else if (code < 0x800) {
       out += static_cast<char>(0xC0 | (code >> 6));
       out += static_cast<char>(0x80 | (code & 0x3F));
-    } else {
+    } else if (code < 0x10000) {
       out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
       out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
       out += static_cast<char>(0x80 | (code & 0x3F));
     }

@@ -15,9 +15,15 @@
 #include <variant>
 #include <vector>
 
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <thread>
+
 #include "api/protocol.hpp"
 #include "api/serve.hpp"
 #include "api/service.hpp"
+#include "api/socket_server.hpp"
 #include "arch/presets.hpp"
 #include "core/evaluator.hpp"
 #include "core/report_json.hpp"
@@ -487,17 +493,21 @@ TEST(Protocol, V1BatchRejectsNonArrayInput) {
 struct ServeOutput {
   ServeResult result;
   std::vector<util::Json> lines;
+  std::vector<std::string> raw_lines;  ///< exact bytes, for transport diffs
 };
 
-ServeOutput run_serve(Service& service, const std::string& input) {
+ServeOutput run_serve(Service& service, const std::string& input,
+                      const ServeOptions& options = {}) {
   std::istringstream in(input);
   std::ostringstream out;
   ServeOutput output;
-  output.result = serve(service, in, out);
+  output.result = serve(service, in, out, options);
   std::istringstream reader(out.str());
   std::string line;
-  while (std::getline(reader, line))
+  while (std::getline(reader, line)) {
+    output.raw_lines.push_back(line);
     output.lines.push_back(util::Json::parse(line));
+  }
   return output;
 }
 
@@ -640,6 +650,66 @@ TEST(Serve, NumericIdsEchoVerbatim) {
   EXPECT_EQ(output.lines[0].at("id").as_number(), 7);
 }
 
+TEST(Serve, SeenIdWindowAllowsReuseOnceEvicted) {
+  // A duplicate inside the sliding window is rejected; an id older than
+  // the last `seen_id_window` accepted requests may be reused — the bound
+  // that keeps long-lived socket connections at constant memory.
+  Service service(small_options(1, 1));
+  ServeOptions options;
+  options.seen_id_window = 2;
+  const ServeOutput output = run_serve(
+      service,
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n"  // dup
+      "{\"protocol_version\": 2, \"id\": \"b\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"c\", \"op\": \"ping\"}\n"  // evicts a
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n",  // ok again
+      options);
+  EXPECT_EQ(output.result.requests, 5u);
+  EXPECT_EQ(output.result.errors, 1u);
+  std::size_t ok_count = 0, duplicate_errors = 0;
+  for (const util::Json& line : output.lines) {
+    if (line.at("ok").as_bool())
+      ++ok_count;
+    else if (line.at("error").as_string().find("duplicate request id") !=
+             std::string::npos)
+      ++duplicate_errors;
+  }
+  EXPECT_EQ(ok_count, 4u);
+  EXPECT_EQ(duplicate_errors, 1u);
+}
+
+TEST(Serve, RejectedDuplicateDoesNotAgeTheWindow) {
+  // Only *accepted* ids enter the window: hammering a duplicate must not
+  // evict the id it collides with (which would re-admit the duplicate).
+  Service service(small_options(1, 1));
+  ServeOptions options;
+  options.seen_id_window = 1;
+  const ServeOutput output = run_serve(
+      service,
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"a\", \"op\": \"ping\"}\n",
+      options);
+  EXPECT_EQ(output.result.errors, 2u);
+}
+
+TEST(Serve, CountV1ResultErrorsNeverThrows) {
+  // The serve loop's guarded view of whatever run_v1_batch hands back: a
+  // top-level error document (or any malformed shape) is one in-band
+  // failure, not an exception that unwinds the stream.
+  EXPECT_EQ(count_v1_result_errors(error_body("boom")), 1u);
+  EXPECT_EQ(count_v1_result_errors(util::Json()), 1u);
+  EXPECT_EQ(count_v1_result_errors(util::Json::parse("{\"results\": 3}")),
+            1u);
+  EXPECT_EQ(count_v1_result_errors(util::Json::parse("{\"results\": []}")),
+            0u);
+  EXPECT_EQ(count_v1_result_errors(util::Json::parse(
+                "{\"results\": [{\"ok\": true}, {\"ok\": false}, {}, "
+                "{\"ok\": 1}, 7]}")),
+            4u);
+}
+
 TEST(Serve, CacheOpsWorkOverTheWire) {
   TempFile file("serve_cache.json");
   Service service(small_options());
@@ -664,6 +734,365 @@ TEST(Serve, CacheOpsWorkOverTheWire) {
   text << saved.rdbuf();
   fresh.deserialize(util::Json::parse(text.str()));
   SUCCEED();
+}
+
+// ------------------------------------------------------------------ socket
+
+// Runs server.run() on a background thread; the destructor initiates
+// shutdown and joins, so a failing assertion can't leak the thread.
+class ServerRunner {
+ public:
+  explicit ServerRunner(SocketServer& server)
+      : server_(server), thread_([&server] { server.run(); }) {}
+  ~ServerRunner() {
+    server_.shutdown();
+    thread_.join();
+  }
+
+ private:
+  SocketServer& server_;
+  std::thread thread_;
+};
+
+std::vector<std::string> client_round_trip(const ListenAddress& address,
+                                           const std::string& input) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  run_socket_client(address, in, out);
+  std::vector<std::string> lines;
+  std::istringstream reader(out.str());
+  std::string line;
+  while (std::getline(reader, line)) lines.push_back(line);
+  return lines;
+}
+
+// Responses stream out of completion order on both transports; sorting
+// makes "same response set, byte-identical lines" assertable.
+std::vector<std::string> sorted(std::vector<std::string> lines) {
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(Socket, ParseListenAddressForms) {
+  ListenAddress address = parse_listen_address("/run/rsp.sock");
+  EXPECT_EQ(address.kind, ListenAddress::Kind::kUnix);
+  EXPECT_EQ(address.path, "/run/rsp.sock");
+  EXPECT_EQ(address.spec(), "/run/rsp.sock");
+  // No '/' and no ':' is still a unix path (relative, cwd).
+  EXPECT_EQ(parse_listen_address("rsp.sock").kind,
+            ListenAddress::Kind::kUnix);
+  // A path containing ':' stays a unix path as long as it has a '/'.
+  EXPECT_EQ(parse_listen_address("./odd:name.sock").kind,
+            ListenAddress::Kind::kUnix);
+
+  address = parse_listen_address("127.0.0.1:8080");
+  EXPECT_EQ(address.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(address.host, "127.0.0.1");
+  EXPECT_EQ(address.port, 8080);
+  EXPECT_EQ(address.spec(), "127.0.0.1:8080");
+  address = parse_listen_address(":0");
+  EXPECT_EQ(address.kind, ListenAddress::Kind::kTcp);
+  EXPECT_EQ(address.host, "");
+  EXPECT_EQ(address.port, 0);
+
+  EXPECT_THROW(parse_listen_address(""), InvalidArgumentError);
+  EXPECT_THROW(parse_listen_address("host:"), InvalidArgumentError);
+  EXPECT_THROW(parse_listen_address("host:notaport"), InvalidArgumentError);
+  EXPECT_THROW(parse_listen_address("host:70000"), InvalidArgumentError);
+}
+
+TEST(Socket, RejectsBadServerConfigs) {
+  Service service(small_options(1, 1));
+  EXPECT_THROW(SocketServer(service, {}), InvalidArgumentError);
+  SocketServerOptions zero_connections;
+  zero_connections.max_connections = 0;
+  EXPECT_THROW(
+      SocketServer(service, {parse_listen_address(":0")}, zero_connections),
+      InvalidArgumentError);
+  EXPECT_THROW(SocketServer(service,
+                            {parse_listen_address("/nonexistent-dir/x.sock")}),
+               Error);
+}
+
+TEST(Socket, BindRefusesToReplaceNonSocketFile) {
+  // A typo'd --listen path must never delete data: binding over an
+  // existing regular file fails and leaves the file intact.
+  TempFile file("not_a_socket");
+  {
+    std::ofstream out(file.path());
+    out << "precious\n";
+  }
+  Service service(small_options(1, 1));
+  try {
+    SocketServer server(service, {parse_listen_address(file.path())});
+    FAIL() << "expected the bind to be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-socket"), std::string::npos);
+  }
+  std::ifstream check(file.path());
+  std::string contents;
+  std::getline(check, contents);
+  EXPECT_EQ(contents, "precious");
+}
+
+TEST(Socket, BindRefusesToStealLiveServerSocket) {
+  // Unlink-before-bind only clears *debris*: a second server on the path
+  // of a live one must fail, not silently strand the first server.
+  TempFile socket_path("live.sock");
+  Service service(small_options(1, 2));
+  SocketServer first(service, {parse_listen_address(socket_path.path())});
+  ServerRunner runner(first);
+  try {
+    SocketServer second(service, {parse_listen_address(socket_path.path())});
+    FAIL() << "expected the second bind to be refused";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("running server"),
+              std::string::npos);
+  }
+  // The live server is unharmed by the refused bind.
+  const std::vector<std::string> lines = client_round_trip(
+      first.addresses()[0],
+      "{\"protocol_version\": 2, \"id\": \"p\", \"op\": \"ping\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(util::Json::parse(lines[0]).at("ok").as_bool());
+}
+
+TEST(Socket, SecondShutdownForceClosesNonReadingClient) {
+  // A peer that sends requests but never reads responses jams dispatch
+  // threads inside send() once the socket buffers fill, so a graceful
+  // drain alone could wait forever. The escalation contract: a second
+  // shutdown() force-closes such connections and run() still returns.
+  TempFile socket_path("force.sock");
+  Service service(small_options(2, 2));
+  SocketServer server(service,
+                      {parse_listen_address(socket_path.path())});
+  std::thread run_thread([&server] { server.run(); });
+
+  const int fd = connect_socket(server.addresses()[0]);
+  {
+    SocketStreamBuf buf(fd);
+    std::ostream sock_out(&buf);
+    // ~300 eval responses (~2.6KB each) far exceed the server-side stream
+    // buffer plus both kernel socket buffers — the writer must jam.
+    for (int i = 0; i < 300; ++i)
+      sock_out << "{\"protocol_version\": 2, \"id\": \"e" << i
+               << "\", \"op\": \"eval\", \"kernel\": \"SAD\"}\n";
+    sock_out.flush();
+  }
+  // Give the server time to read the burst and wedge in send(); the
+  // escalation works regardless, this just makes the jam the common case.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  server.shutdown();  // graceful: would hang on the wedged connection
+  server.shutdown();  // escalate: force-close it
+  run_thread.join();  // must return; a hang fails via the test timeout
+  ::close(fd);
+  EXPECT_EQ(server.stats().active, 0u);
+  EXPECT_EQ(server.stats().accepted, 1u);
+}
+
+TEST(Socket, UnixLoopbackByteIdenticalToStdinServe) {
+  const std::string requests =
+      "{\"protocol_version\": 2, \"id\": \"e\", \"op\": \"eval\", "
+      "\"kernel\": \"SAD\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"m\", \"op\": \"map\", "
+      "\"kernel\": \"SAD\", \"arch\": \"RSP#4\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"l\", \"op\": \"list\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"bad\", \"op\": \"warp\"}\n";
+  Service pipe_service(small_options());
+  const ServeOutput reference = run_serve(pipe_service, requests);
+
+  TempFile socket_path("loopback.sock");
+  Service service(small_options());
+  SocketServer server(service,
+                      {parse_listen_address(socket_path.path())});
+  ServerRunner runner(server);
+  const std::vector<std::string> lines =
+      client_round_trip(server.addresses()[0], requests);
+  EXPECT_EQ(sorted(lines), sorted(reference.raw_lines));
+}
+
+TEST(Socket, TcpEphemeralPortRoundTrip) {
+  Service service(small_options(1, 2));
+  SocketServer server(service, {parse_listen_address("127.0.0.1:0")});
+  ASSERT_EQ(server.addresses().size(), 1u);
+  EXPECT_GT(server.addresses()[0].port, 0);  // ephemeral port resolved
+  ServerRunner runner(server);
+  const std::vector<std::string> lines = client_round_trip(
+      server.addresses()[0],
+      "{\"protocol_version\": 2, \"id\": \"p\", \"op\": \"ping\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  const util::Json response = util::Json::parse(lines[0]);
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("id").as_string(), "p");
+}
+
+TEST(Socket, ConcurrentClientsIsolatedIdScopesByteIdentical) {
+  // Two clients interleave eval/dse/ping traffic over ONE shared service,
+  // REUSING each other's request ids: id scopes are per-connection, and
+  // each client's response set stays byte-identical to a stdin serve run
+  // of the same stream (shared caches must not leak into payloads).
+  const std::string requests_a =
+      "{\"protocol_version\": 2, \"id\": \"r1\", \"op\": \"eval\", "
+      "\"kernel\": \"SAD\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"r2\", \"op\": \"dse\", "
+      "\"kernels\": [\"SAD\"], \"config\": {\"max_units_per_row\": 2, "
+      "\"max_units_per_col\": 1, \"max_stages\": 2}}\n"
+      "{\"protocol_version\": 2, \"id\": \"r3\", \"op\": \"ping\"}\n";
+  const std::string requests_b =
+      "{\"protocol_version\": 2, \"id\": \"r1\", \"op\": \"eval\", "
+      "\"kernel\": \"MVM\"}\n"
+      "{\"protocol_version\": 2, \"id\": \"r2\", \"op\": \"ping\", "
+      "\"delay_ms\": 20}\n"
+      "{\"protocol_version\": 2, \"id\": \"r3\", \"op\": \"map\", "
+      "\"kernel\": \"MVM\", \"arch\": \"RSP#2\"}\n";
+
+  Service reference_a_service(small_options());
+  const ServeOutput reference_a = run_serve(reference_a_service, requests_a);
+  Service reference_b_service(small_options());
+  const ServeOutput reference_b = run_serve(reference_b_service, requests_b);
+
+  TempFile socket_path("concurrent.sock");
+  Service service(small_options(2, 4));
+  SocketServer server(service,
+                      {parse_listen_address(socket_path.path())});
+  ServerRunner runner(server);
+  const ListenAddress& address = server.addresses()[0];
+  std::vector<std::string> lines_a, lines_b;
+  std::thread client_a(
+      [&] { lines_a = client_round_trip(address, requests_a); });
+  std::thread client_b(
+      [&] { lines_b = client_round_trip(address, requests_b); });
+  client_a.join();
+  client_b.join();
+
+  // Every id was answered ok on both connections — a cross-connection id
+  // scope would have turned one side's stream into duplicate-id errors.
+  EXPECT_EQ(sorted(lines_a), sorted(reference_a.raw_lines));
+  EXPECT_EQ(sorted(lines_b), sorted(reference_b.raw_lines));
+  for (const std::string& line : lines_a)
+    EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool()) << line;
+  for (const std::string& line : lines_b)
+    EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool()) << line;
+}
+
+TEST(Socket, ConnectionLimitAnsweredInBand) {
+  TempFile socket_path("limit.sock");
+  Service service(small_options(1, 2));
+  SocketServerOptions options;
+  options.max_connections = 1;
+  SocketServer server(service, {parse_listen_address(socket_path.path())},
+                      options);
+  ServerRunner runner(server);
+  const ListenAddress& address = server.addresses()[0];
+
+  // Hold the one allowed connection open — and prove the server has
+  // *registered* it (not merely accepted the TCP/unix handshake) by
+  // completing a round trip before the second client connects.
+  const int fd = connect_socket(address);
+  SocketStreamBuf buf(fd);
+  std::istream sock_in(&buf);
+  std::ostream sock_out(&buf);
+  sock_out << "{\"protocol_version\": 2, \"id\": \"hold\", \"op\": "
+              "\"ping\"}\n"
+           << std::flush;
+  std::string line;
+  ASSERT_TRUE(std::getline(sock_in, line));
+  EXPECT_TRUE(util::Json::parse(line).at("ok").as_bool());
+
+  const std::vector<std::string> rejected = client_round_trip(
+      address,
+      "{\"protocol_version\": 2, \"id\": \"r\", \"op\": \"ping\"}\n");
+  ASSERT_EQ(rejected.size(), 1u);
+  const util::Json response = util::Json::parse(rejected[0]);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_NE(response.at("error").as_string().find("connection limit"),
+            std::string::npos);
+  EXPECT_TRUE(response.at("id").is_null());
+  EXPECT_EQ(server.stats().rejected, 1u);
+
+  // Releasing the held connection frees the slot for a new client.
+  ::shutdown(fd, SHUT_WR);
+  while (std::getline(sock_in, line)) {
+  }
+  ::close(fd);
+  const std::vector<std::string> accepted = client_round_trip(
+      address,
+      "{\"protocol_version\": 2, \"id\": \"r\", \"op\": \"ping\"}\n");
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_TRUE(util::Json::parse(accepted[0]).at("ok").as_bool());
+}
+
+TEST(Socket, GracefulShutdownDrainsInflightRequests) {
+  TempFile socket_path("drain.sock");
+  Service service(small_options(1, 2));
+  SocketServer server(service,
+                      {parse_listen_address(socket_path.path())});
+  std::thread run_thread([&server] { server.run(); });
+
+  const int fd = connect_socket(server.addresses()[0]);
+  SocketStreamBuf buf(fd);
+  std::istream sock_in(&buf);
+  std::ostream sock_out(&buf);
+  // Round trip an immediate ping first so the delayed one is provably
+  // *read* (same single-reader loop) before shutdown is requested.
+  sock_out << "{\"protocol_version\": 2, \"id\": \"warm\", \"op\": "
+              "\"ping\"}\n"
+           << std::flush;
+  std::string line;
+  ASSERT_TRUE(std::getline(sock_in, line));
+  // Delay sized for TSan on loaded CI runners: shutdown() below must land
+  // while this request is still in flight for the drain to be observable
+  // (and the test still passes — more slowly — if it has already
+  // completed).
+  sock_out << "{\"protocol_version\": 2, \"id\": \"slow\", \"op\": "
+              "\"ping\", \"delay_ms\": 1000}\n"
+           << std::flush;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  server.shutdown();
+  // The in-flight response still arrives, then the server closes cleanly.
+  ASSERT_TRUE(std::getline(sock_in, line));
+  const util::Json response = util::Json::parse(line);
+  EXPECT_EQ(response.at("id").as_string(), "slow");
+  EXPECT_TRUE(response.at("ok").as_bool());
+  EXPECT_FALSE(std::getline(sock_in, line));  // EOF: connection drained
+  ::close(fd);
+  run_thread.join();
+
+  const SocketServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 1u);
+  EXPECT_EQ(stats.active, 0u);
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(Socket, CacheStatsFoldsServerSection) {
+  TempFile socket_path("stats.sock");
+  Service service(small_options(1, 2));
+  SocketServerOptions options;
+  options.max_connections = 7;
+  SocketServer server(service, {parse_listen_address(socket_path.path())},
+                      options);
+  service.set_stats_extension([&server] { return server.stats_json(); });
+  ServerRunner runner(server);
+  const std::vector<std::string> lines = client_round_trip(
+      server.addresses()[0],
+      "{\"protocol_version\": 2, \"id\": \"s\", \"op\": \"cache_stats\"}\n");
+  ASSERT_EQ(lines.size(), 1u);
+  const util::Json response = util::Json::parse(lines[0]);
+  EXPECT_TRUE(response.at("ok").as_bool());
+  const util::Json& section = response.at("server");
+  EXPECT_EQ(section.at("connections").at("accepted").as_number(), 1);
+  EXPECT_EQ(section.at("connections").at("active").as_number(), 1);
+  EXPECT_EQ(section.at("connections").at("max").as_number(), 7);
+  EXPECT_EQ(section.at("connections").at("rejected").as_number(), 0);
+
+  // The pipe transport installs no extension: no "server" section there.
+  Service pipe_service(small_options(1, 1));
+  const ServeOutput pipe = run_serve(
+      pipe_service,
+      "{\"protocol_version\": 2, \"id\": \"s\", \"op\": \"cache_stats\"}\n");
+  EXPECT_FALSE(pipe.lines[0].contains("server"));
 }
 
 }  // namespace

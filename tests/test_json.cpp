@@ -91,6 +91,48 @@ TEST(JsonParse, StringEscapes) {
             std::string(1, '\x01'));
 }
 
+TEST(JsonParse, SurrogatePairsDecodeToFourByteUtf8) {
+  // U+1F600 (grinning face) arrives as the UTF-16 escape pair D83D DE00 and
+  // must decode to the 4-byte UTF-8 sequence — an emoji in a request id is
+  // a valid string, not a protocol error.
+  EXPECT_EQ(util::Json::parse("\"\\uD83D\\uDE00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // Lowest and highest astral code points: U+10000 and U+10FFFF.
+  EXPECT_EQ(util::Json::parse("\"\\uD800\\uDC00\"").as_string(),
+            "\xF0\x90\x80\x80");
+  EXPECT_EQ(util::Json::parse("\"\\uDBFF\\uDFFF\"").as_string(),
+            "\xF4\x8F\xBF\xBF");
+  // Pairs compose with surrounding text and other escapes.
+  EXPECT_EQ(util::Json::parse("\"a\\uD83D\\uDE00\\nb\"").as_string(),
+            "a\xF0\x9F\x98\x80\nb");
+}
+
+TEST(JsonParse, LoneSurrogatesAreStillRejected) {
+  // A lone half of a pair has no code point: reject, never emit WTF-8.
+  EXPECT_THROW(util::Json::parse("\"\\uD800\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uDFFF\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uD83Dx\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uD83D\\n\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uD83D\\uD83D\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uDE00\\uD83D\""), InvalidArgumentError);
+  EXPECT_THROW(util::Json::parse("\"\\uD83D\""), InvalidArgumentError);
+}
+
+TEST(JsonParse, AstralStringsRoundTripThroughEscapeAndParse) {
+  // escape() passes raw UTF-8 through untouched, so a decoded astral string
+  // survives dump()+parse() byte-identically — in an id, in a key, nested.
+  util::Json doc = util::Json::object();
+  doc.set("id", "req-\xF0\x9F\x98\x80");
+  doc.set("\xF0\x90\x80\x80", 1);
+  const util::Json reparsed = util::Json::parse(doc.dump());
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+  EXPECT_EQ(reparsed.at("id").as_string(), "req-\xF0\x9F\x98\x80");
+  // And the escaped spelling parses to the same string as the raw bytes.
+  EXPECT_EQ(
+      util::Json::parse("{\"id\": \"req-\\uD83D\\uDE00\"}").at("id").dump(),
+      util::Json("req-\xF0\x9F\x98\x80").dump());
+}
+
 TEST(JsonParse, Containers) {
   const util::Json j =
       util::Json::parse("{\"a\": [1, \"two\", {\"b\": true}], \"c\": null}");

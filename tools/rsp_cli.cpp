@@ -17,6 +17,7 @@
 #include "api/protocol.hpp"
 #include "api/serve.hpp"
 #include "api/service.hpp"
+#include "api/socket_server.hpp"
 #include "core/report_json.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -160,6 +161,9 @@ int cmd_batch(const std::vector<std::string>& args) {
 
 int cmd_serve(const std::vector<std::string>& args) {
   api::ServiceOptions options;
+  api::SocketServerOptions server_options;
+  std::vector<api::ListenAddress> listen;
+  bool saw_max_connections = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads") {
       if (i + 1 >= args.size())
@@ -174,21 +178,67 @@ int cmd_serve(const std::vector<std::string>& args) {
         throw InvalidArgumentError("--cache-entries requires an entry count");
       options.cache_max_entries = static_cast<std::size_t>(
           positive_int_flag("--cache-entries", args[++i]));
+    } else if (args[i] == "--listen") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError(
+            "--listen requires an address (<path> or <host:port>)");
+      listen.push_back(api::parse_listen_address(args[++i]));
+    } else if (args[i] == "--max-connections") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError(
+            "--max-connections requires a connection count");
+      server_options.max_connections =
+          positive_int_flag("--max-connections", args[++i]);
+      saw_max_connections = true;
     } else {
-      throw InvalidArgumentError("unknown flag '" + args[i] +
-                                 "' for serve (--threads N, "
-                                 "--max-inflight N, --cache-entries N)");
+      throw InvalidArgumentError(
+          "unknown flag '" + args[i] +
+          "' for serve (--threads N, --max-inflight N, --cache-entries N, "
+          "--listen ADDR, --max-connections N)");
     }
   }
+
+  if (listen.empty() && saw_max_connections)
+    throw InvalidArgumentError(
+        "--max-connections only applies with --listen (the stdin/stdout "
+        "pipe serves exactly one client)");
+
   api::Service service(options);
-  const api::ServeResult result = api::serve(service, std::cin, std::cout);
-  if (!result.output_ok) {
-    // Responses were lost to a dead output stream; the only channel left
-    // for reporting it is stderr + the exit code.
-    std::cerr << "error: output stream failed; responses were lost\n";
-    return 1;
+  if (listen.empty()) {
+    // Pipe transport: one client over stdin/stdout.
+    const api::ServeResult result = api::serve(service, std::cin, std::cout);
+    if (!result.output_ok) {
+      // Responses were lost to a dead output stream; the only channel left
+      // for reporting it is stderr + the exit code.
+      std::cerr << "error: output stream failed; responses were lost\n";
+      return 1;
+    }
+    return 0;
   }
+
+  // Socket transport: all connections share this one service (pools +
+  // caches); stdout stays untouched, logs go to stderr.
+  api::SocketServer server(service, listen, server_options);
+  service.set_stats_extension([&server] { return server.stats_json(); });
+  server.install_signal_handlers();
+  for (const api::ListenAddress& address : server.addresses())
+    std::cerr << "listening on " << address.spec() << "\n";
+  server.run();
+  const api::SocketServerStats stats = server.stats();
+  std::cerr << "shutdown complete: " << stats.accepted << " connection(s), "
+            << stats.requests << " request(s), " << stats.errors
+            << " error response(s)\n";
   return 0;
+}
+
+// Client side of `serve --listen`: pipes stdin lines to the socket and
+// response lines to stdout, exiting when the server finishes the stream.
+int cmd_connect(const std::vector<std::string>& args) {
+  if (args.size() != 2)
+    throw InvalidArgumentError(
+        "connect takes exactly one address (<path> or <host:port>)");
+  return api::run_socket_client(api::parse_listen_address(args[1]), std::cin,
+                                std::cout);
 }
 
 int cmd_rtl(const api::Service& service, const std::string& arch) {
@@ -236,8 +286,13 @@ int usage() {
          "                                    run a v1 batch document over "
          "the service\n"
          "  serve [--threads N] [--max-inflight N] [--cache-entries N]\n"
+         "        [--listen <path|host:port>]... [--max-connections N]\n"
          "                                    stream v2 NDJSON requests "
-         "stdin->stdout\n"
+         "stdin->stdout,\n"
+         "                                    or serve concurrent socket "
+         "clients\n"
+         "  connect <path|host:port>          pipe stdin/stdout to a serve "
+         "--listen socket\n"
          "  rtl <arch>                        emit structural Verilog to "
          "stdout\n"
          "  dot <kernel>                      emit the body DFG in Graphviz "
@@ -260,6 +315,7 @@ int main(int argc, char** argv) {
     // silently ignored, so scripts can trust the exit code.
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "connect") return cmd_connect(args);
     if (cmd == "explore" || cmd == "dse") return cmd_explore(args);
 
     // One service per invocation, always with a single dispatch thread —
