@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/report_json.hpp"
+#include "sim/machine.hpp"
 #include "util/error.hpp"
 
 namespace rsp::api {
@@ -102,6 +103,13 @@ DseRequest parse_dse_request(const util::Json& doc) {
   return request;
 }
 
+// Optional "engine" payload field shared by simulate / simulate_batch /
+// vcd; absent selects the production event engine.
+sim::SimEngine parse_engine_field(const util::Json& doc) {
+  if (!doc.contains("engine")) return sim::SimEngine::kEvent;
+  return sim::parse_sim_engine(doc.at("engine").as_string());
+}
+
 std::string require_string(const util::Json& doc, const char* field,
                            const std::string& op) {
   if (!doc.contains(field))
@@ -176,14 +184,34 @@ Request decode_v2_request(const util::Json& doc) {
     require_known_fields(doc, op, {"kernels", "config"});
     return parse_dse_request(doc);
   }
-  if (op == "map" || op == "simulate" || op == "vcd" || op == "bitstream") {
+  if (op == "map" || op == "bitstream") {
     require_known_fields(doc, op, {"kernel", "arch"});
     const std::string kernel = require_string(doc, "kernel", op);
     const std::string arch = require_string(doc, "arch", op);
     if (op == "map") return MapRequest{kernel, arch};
-    if (op == "simulate") return SimulateRequest{kernel, arch};
-    if (op == "vcd") return VcdRequest{kernel, arch};
     return BitstreamRequest{kernel, arch};
+  }
+  if (op == "simulate" || op == "vcd") {
+    require_known_fields(doc, op, {"kernel", "arch", "engine"});
+    const std::string kernel = require_string(doc, "kernel", op);
+    const std::string arch = require_string(doc, "arch", op);
+    const sim::SimEngine engine = parse_engine_field(doc);
+    if (op == "simulate") return SimulateRequest{kernel, arch, engine};
+    return VcdRequest{kernel, arch, engine};
+  }
+  if (op == "simulate_batch") {
+    require_known_fields(doc, op, {"kernel", "archs", "engine"});
+    SimulateBatchRequest request;
+    request.kernel = require_string(doc, "kernel", op);
+    request.engine = parse_engine_field(doc);
+    if (doc.contains("archs")) {
+      const util::Json& list = doc.at("archs");
+      if (!list.is_array() || list.size() == 0)
+        throw InvalidArgumentError("'archs' must be a non-empty array");
+      for (std::size_t i = 0; i < list.size(); ++i)
+        request.archs.push_back(list.at(i).as_string());
+    }
+    return request;
   }
   if (op == "rtl") {
     require_known_fields(doc, op, {"arch"});
@@ -216,8 +244,9 @@ Request decode_v2_request(const util::Json& doc) {
   }
   throw InvalidArgumentError(
       "unknown op '" + op +
-      "' (expected one of: list, eval, dse, map, simulate, rtl, dot, vcd, "
-      "bitstream, cache_stats, cache_save, cache_load, ping)");
+      "' (expected one of: list, eval, dse, map, simulate, simulate_batch, "
+      "rtl, dot, vcd, bitstream, cache_stats, cache_save, cache_load, "
+      "ping)");
 }
 
 // ------------------------------------------------------------------ bodies
@@ -302,9 +331,27 @@ util::Json to_body(const SimulateResponse& resp) {
   util::Json body = ok_body("simulate");
   body.set("kernel", resp.kernel)
       .set("arch", resp.arch)
+      .set("engine", resp.engine)
       .set("cycles", resp.cycles)
       .set("pe_utilization_percent", 100.0 * resp.pe_utilization)
       .set("matches_golden", resp.matches_golden);
+  return body;
+}
+
+util::Json to_body(const SimulateBatchResponse& resp) {
+  util::Json rows = util::Json::array();
+  for (const SimulateResponse& row : resp.rows) {
+    util::Json entry = util::Json::object();
+    entry.set("arch", row.arch)
+        .set("cycles", row.cycles)
+        .set("pe_utilization_percent", 100.0 * row.pe_utilization)
+        .set("matches_golden", row.matches_golden);
+    rows.push(std::move(entry));
+  }
+  util::Json body = ok_body("simulate_batch");
+  body.set("kernel", resp.kernel)
+      .set("engine", resp.engine)
+      .set("results", std::move(rows));
   return body;
 }
 
@@ -361,6 +408,9 @@ util::Json to_body(const CacheStatsResponse& resp) {
   util::Json estimates = util::Json::object();
   set_cache_stat_fields(estimates, resp.estimate_stats);
   body.set("estimates", std::move(estimates));
+  util::Json sim = util::Json::object();
+  set_cache_stat_fields(sim, resp.sim_stats);
+  body.set("sim", std::move(sim));
   return body;
 }
 

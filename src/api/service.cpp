@@ -12,6 +12,7 @@
 #include "ir/dot.hpp"
 #include "kernels/registry.hpp"
 #include "rtl/generate.hpp"
+#include "runtime/sim_batch.hpp"
 #include "sched/legality.hpp"
 #include "sched/mapper.hpp"
 #include "sched/pretty.hpp"
@@ -30,6 +31,7 @@ Service::Service(ServiceOptions options)
                          ? std::move(options.mapping_cache)
                          : std::make_shared<runtime::MappingCache>(
                                16, options.cache_max_entries)),
+      sim_runs_(16, options.cache_max_entries),
       catalogue_(kernels::full_catalogue()),
       workers_(options.threads),
       dispatch_(options.max_inflight) {}
@@ -126,22 +128,89 @@ MapResponse Service::map(const MapRequest& request) const {
   return resp;
 }
 
+std::shared_ptr<const Service::SimRun> Service::sim_run(
+    const kernels::Workload& w, const arch::Architecture& a,
+    sim::SimEngine engine) const {
+  const std::string key =
+      w.name + '\n' + a.name + '\n' + sim::engine_name(engine);
+  return sim_runs_.get_or_compute(key, [&]() {
+    sched::ConfigurationContext ctx = schedule_for(w, a);
+    ir::Memory mem, golden;
+    w.setup(mem);
+    w.setup(golden);
+    const sim::SimResult result =
+        sim::Machine(ir::DatapathMode::kExact, engine).run(ctx, mem);
+    w.golden(golden);
+    return std::make_shared<const SimRun>(
+        SimRun{std::move(ctx), result, mem == golden});
+  });
+}
+
 SimulateResponse Service::simulate(const SimulateRequest& request) const {
   const kernels::Workload& w = workload(request.kernel);
   const arch::Architecture a =
       architecture(request.arch, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  ir::Memory mem, golden;
-  w.setup(mem);
-  w.setup(golden);
-  const sim::SimResult result = sim::Machine().run(ctx, mem);
-  w.golden(golden);
+  const std::shared_ptr<const SimRun> run = sim_run(w, a, request.engine);
   SimulateResponse resp;
   resp.kernel = w.name;
   resp.arch = a.name;
-  resp.cycles = result.stats.cycles;
-  resp.pe_utilization = result.stats.pe_utilization();
-  resp.matches_golden = mem == golden;
+  resp.engine = sim::engine_name(request.engine);
+  resp.cycles = run->result.stats.cycles;
+  resp.pe_utilization = run->result.stats.pe_utilization();
+  resp.matches_golden = run->matches_golden;
+  return resp;
+}
+
+SimulateBatchResponse Service::simulate_batch(
+    const SimulateBatchRequest& request) const {
+  const kernels::Workload& w = workload(request.kernel);
+  std::vector<arch::Architecture> archs;
+  if (request.archs.empty()) {
+    archs = arch::standard_suite(w.array.rows, w.array.cols);
+  } else {
+    for (const std::string& name : request.archs)
+      archs.push_back(architecture(name, w.array.rows, w.array.cols));
+  }
+
+  std::vector<sched::ConfigurationContext> contexts;
+  std::vector<ir::Memory> memories;
+  contexts.reserve(archs.size());
+  memories.reserve(archs.size());
+  for (const arch::Architecture& a : archs) {
+    contexts.push_back(schedule_for(w, a));
+    memories.emplace_back();
+    w.setup(memories.back());
+  }
+  std::vector<const sched::ConfigurationContext*> pointers;
+  pointers.reserve(contexts.size());
+  for (const sched::ConfigurationContext& ctx : contexts)
+    pointers.push_back(&ctx);
+
+  // Fan out on the evaluation pool: a dispatch task may block on workers_
+  // futures, never the reverse (see the class comment).
+  runtime::SimBatchOptions options;
+  options.pool = &workers_;
+  options.engine = request.engine;
+  const std::vector<runtime::SimBatchResult> outcomes =
+      runtime::simulate_many(pointers, std::move(memories), options);
+
+  ir::Memory golden;
+  w.setup(golden);
+  w.golden(golden);
+
+  SimulateBatchResponse resp;
+  resp.kernel = w.name;
+  resp.engine = sim::engine_name(request.engine);
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    SimulateResponse row;
+    row.kernel = w.name;
+    row.arch = archs[i].name;
+    row.engine = resp.engine;
+    row.cycles = outcomes[i].result.stats.cycles;
+    row.pe_utilization = outcomes[i].result.stats.pe_utilization();
+    row.matches_golden = outcomes[i].memory == golden;
+    resp.rows.push_back(std::move(row));
+  }
   return resp;
 }
 
@@ -164,14 +233,13 @@ VcdResponse Service::vcd(const VcdRequest& request) const {
   const kernels::Workload& w = workload(request.kernel);
   const arch::Architecture a =
       architecture(request.arch, w.array.rows, w.array.cols);
-  const sched::ConfigurationContext ctx = schedule_for(w, a);
-  ir::Memory mem;
-  w.setup(mem);
-  const sim::SimResult result = sim::Machine().run(ctx, mem);
+  // Shares the memoized run with `simulate`: the simulate+vcd pair on the
+  // same (kernel, arch, engine) costs one simulation.
+  const std::shared_ptr<const SimRun> run = sim_run(w, a, request.engine);
   VcdResponse resp;
   resp.kernel = w.name;
   resp.arch = a.name;
-  resp.vcd = sim::to_vcd(ctx, result);
+  resp.vcd = sim::to_vcd(run->context, run->result);
   return resp;
 }
 
@@ -194,6 +262,7 @@ CacheStatsResponse Service::cache_stats(const CacheStatsRequest&) const {
   resp.stats = cache_->stats();
   resp.mapping_stats = mapping_cache_->stats();
   resp.estimate_stats = mapping_cache_->estimate_stats();
+  resp.sim_stats = sim_runs_.stats();
   resp.threads = workers_.thread_count();
   return resp;
 }
@@ -255,6 +324,10 @@ MapResponse dispatch_typed(const Service& s, const MapRequest& r) {
 }
 SimulateResponse dispatch_typed(const Service& s, const SimulateRequest& r) {
   return s.simulate(r);
+}
+SimulateBatchResponse dispatch_typed(const Service& s,
+                                     const SimulateBatchRequest& r) {
+  return s.simulate_batch(r);
 }
 RtlResponse dispatch_typed(const Service& s, const RtlRequest& r) {
   return s.rtl(r);

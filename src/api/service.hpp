@@ -34,7 +34,10 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/mapping_cache.hpp"
 #include "runtime/parallel_explorer.hpp"
+#include "runtime/striped_cache.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sched/context.hpp"
+#include "sim/machine.hpp"
 #include "util/json.hpp"
 
 namespace rsp::api {
@@ -61,6 +64,18 @@ struct MapRequest {
 struct SimulateRequest {
   std::string kernel;
   std::string arch;
+  /// Which simulator core runs the schedule. Both engines are bit-identical
+  /// on legal contexts (docs/SIMULATOR.md); event is the production path.
+  sim::SimEngine engine = sim::SimEngine::kEvent;
+};
+
+/// One kernel simulated across many architectures on the shared worker
+/// pool (runtime::simulate_many). Empty `archs` runs the full standard
+/// suite — the paper's nine designs.
+struct SimulateBatchRequest {
+  std::string kernel;
+  std::vector<std::string> archs;
+  sim::SimEngine engine = sim::SimEngine::kEvent;
 };
 
 struct RtlRequest {
@@ -74,6 +89,9 @@ struct DotRequest {
 struct VcdRequest {
   std::string kernel;
   std::string arch;
+  /// The VCD bytes are engine-independent (bit-identity guarantee); the
+  /// choice only selects which memoized simulation run is shared.
+  sim::SimEngine engine = sim::SimEngine::kEvent;
 };
 
 struct BitstreamRequest {
@@ -105,9 +123,9 @@ inline constexpr int kMaxPingDelayMs = 10000;
 /// requests into this variant.
 using Request =
     std::variant<ListRequest, EvalRequest, DseRequest, MapRequest,
-                 SimulateRequest, RtlRequest, DotRequest, VcdRequest,
-                 BitstreamRequest, CacheStatsRequest, CacheSaveRequest,
-                 CacheLoadRequest, PingRequest>;
+                 SimulateRequest, SimulateBatchRequest, RtlRequest,
+                 DotRequest, VcdRequest, BitstreamRequest, CacheStatsRequest,
+                 CacheSaveRequest, CacheLoadRequest, PingRequest>;
 
 // ----------------------------------------------------------- response types
 
@@ -144,9 +162,16 @@ struct MapResponse {
 struct SimulateResponse {
   std::string kernel;
   std::string arch;
+  std::string engine;  ///< "dense" or "event"
   int cycles = 0;
   double pe_utilization = 0.0;
   bool matches_golden = false;
+};
+
+struct SimulateBatchResponse {
+  std::string kernel;
+  std::string engine;
+  std::vector<SimulateResponse> rows;  ///< requested order
 };
 
 struct RtlResponse {
@@ -176,6 +201,7 @@ struct CacheStatsResponse {
   runtime::CacheStats stats;           ///< evaluation memo table
   runtime::CacheStats mapping_stats;   ///< step-1 mapping memo table
   runtime::CacheStats estimate_stats;  ///< step-2/3 estimate memo table
+  runtime::CacheStats sim_stats;       ///< simulation-run memo table
   int threads = 0;                     ///< evaluation pool size
 };
 
@@ -227,6 +253,7 @@ class Service {
   DseResponse dse(const DseRequest&) const;
   MapResponse map(const MapRequest&) const;
   SimulateResponse simulate(const SimulateRequest&) const;
+  SimulateBatchResponse simulate_batch(const SimulateBatchRequest&) const;
   RtlResponse rtl(const RtlRequest&) const;
   DotResponse dot(const DotRequest&) const;
   VcdResponse vcd(const VcdRequest&) const;
@@ -280,6 +307,23 @@ class Service {
   sched::ConfigurationContext schedule_for(const kernels::Workload& w,
                                            const arch::Architecture& a) const;
 
+  /// One memoized simulation: everything both `simulate` and `vcd` need, so
+  /// the pair costs a single run (the pre-PR-6 service re-simulated from
+  /// scratch for the VCD dump).
+  struct SimRun {
+    sched::ConfigurationContext context;
+    sim::SimResult result;
+    bool matches_golden = false;
+  };
+
+  /// Runs (or recalls) the simulation of `w` on `a` under `engine`. Keys by
+  /// kernel name × architecture name × engine — both names resolve through
+  /// fixed tables (the catalogue and the standard suite), so a name pins
+  /// the full configuration.
+  std::shared_ptr<const SimRun> sim_run(const kernels::Workload& w,
+                                        const arch::Architecture& a,
+                                        sim::SimEngine engine) const;
+
   // Declaration order is destruction-order-critical: the pools must be
   // destroyed (draining their queued tasks) *before* the caches and
   // catalogue those tasks read, so they are declared after them — and
@@ -287,6 +331,8 @@ class Service {
   // futures.
   std::shared_ptr<runtime::EvalCache> cache_;
   std::shared_ptr<runtime::MappingCache> mapping_cache_;
+  /// Memoized simulation runs (simulate/vcd sharing); service-local.
+  mutable runtime::StripedMemoCache<std::shared_ptr<const SimRun>> sim_runs_;
   /// Built once; read-only after construction (lookups are concurrent).
   std::vector<kernels::Workload> catalogue_;
   /// Set once before serving starts, read concurrently afterwards.

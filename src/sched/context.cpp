@@ -10,9 +10,16 @@ ConfigurationContext::ConfigurationContext(arch::Architecture architecture,
                                            std::vector<ScheduledOp> ops)
     : arch_(std::move(architecture)), ops_(std::move(ops)) {
   arch_.validate();
-  for (const ScheduledOp& op : ops_) {
-    if (op.cycle < 0) throw InvalidArgumentError("negative issue cycle");
-    if (op.latency < 1) throw InvalidArgumentError("latency must be >= 1");
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const ScheduledOp& op = ops_[i];
+    if (op.cycle < 0)
+      throw InvalidArgumentError("op " + std::to_string(i) +
+                                 " has negative issue cycle " +
+                                 std::to_string(op.cycle));
+    if (op.latency < 1)
+      throw InvalidArgumentError("op " + std::to_string(i) + " has latency " +
+                                 std::to_string(op.latency) +
+                                 "; latency must be >= 1");
     length_ = std::max(length_, op.cycle + op.latency);
   }
 }

@@ -8,6 +8,15 @@
 // contexts that oversubscribe a PE, bus or unit) and gathers utilisation
 // statistics; its final memory must match the reference interpreter, which
 // the integration tests assert for every kernel × architecture pair.
+//
+// Two engines produce bit-identical results (values, stats, final memory,
+// and therefore byte-identical VCD dumps — see docs/SIMULATOR.md):
+//
+//   * kDense — the reference loop below: every cycle visits the full
+//     per-cycle bookkeeping whether or not anything is scheduled.
+//   * kEvent — compiles the context into an immutable sim::SimProgram
+//     (src/sim/program.hpp) whose structural legality is verified once,
+//     then executes only the cycles and resources with scheduled activity.
 #pragma once
 
 #include <cstdint>
@@ -38,17 +47,43 @@ struct UtilizationStats {
                ? static_cast<double>(shared_unit_issues) / shared_unit_slots
                : 0.0;
   }
+
+  bool operator==(const UtilizationStats&) const = default;
 };
 
 struct SimResult {
   UtilizationStats stats;
   std::vector<std::int64_t> values;  ///< final value of every context op
+
+  bool operator==(const SimResult&) const = default;
 };
+
+/// Simulation engine selection. Both engines are bit-identical on every
+/// legal context; kDense is the straight-line reference, kEvent the
+/// production path for sparse (low-utilization) schedules and batched
+/// multi-memory simulation.
+enum class SimEngine { kDense, kEvent };
+
+/// "dense" / "event" — the wire and CLI spelling of the engine.
+const char* engine_name(SimEngine engine);
+
+/// Inverse of engine_name; throws InvalidArgumentError on anything else.
+SimEngine parse_sim_engine(const std::string& name);
+
+/// Entry-path validation shared by both engines: every op's issue cycle
+/// must lie in [0, length) and every operand must reference an in-range
+/// producer (or be an immediate). Violations throw InvalidArgumentError
+/// naming the op — out-of-range indices would otherwise walk off the
+/// per-cycle issue table. ConfigurationContext establishes these
+/// invariants at construction; the simulator re-checks so it never trusts
+/// a context it did not build.
+void validate_context(const sched::ConfigurationContext& context);
 
 class Machine {
  public:
-  explicit Machine(ir::DatapathMode mode = ir::DatapathMode::kExact)
-      : mode_(mode) {}
+  explicit Machine(ir::DatapathMode mode = ir::DatapathMode::kExact,
+                   SimEngine engine = SimEngine::kDense)
+      : mode_(mode), engine_(engine) {}
 
   /// Runs the context to completion, mutating `memory`.
   /// Throws rsp::Error on any structural violation encountered while
@@ -56,8 +91,14 @@ class Machine {
   SimResult run(const sched::ConfigurationContext& context,
                 ir::Memory& memory) const;
 
+  SimEngine engine() const { return engine_; }
+
  private:
+  SimResult run_dense(const sched::ConfigurationContext& context,
+                      ir::Memory& memory) const;
+
   ir::DatapathMode mode_;
+  SimEngine engine_;
 };
 
 }  // namespace rsp::sim

@@ -1,0 +1,243 @@
+#include "sim/program.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace rsp::sim {
+namespace {
+
+// Dense integer slot of a shared unit: row pools first (rows ×
+// units_per_row, row-major), then column pools. validate_context has
+// already bounds-checked line/index, so the slot is in
+// [0, sharing.total_units(array)).
+int unit_slot(const arch::SharingPlan& sharing, const arch::ArraySpec& array,
+              const arch::SharedUnitId& unit) {
+  if (unit.pool == arch::SharedUnitId::Pool::kRow)
+    return unit.line * sharing.units_per_row + unit.index;
+  return array.rows * sharing.units_per_row +
+         unit.line * sharing.units_per_col + unit.index;
+}
+
+}  // namespace
+
+SimProgram SimProgram::compile(const sched::ConfigurationContext& context) {
+  validate_context(context);
+
+  const arch::Architecture& a = context.architecture();
+  const arch::ArraySpec& array = a.array;
+  const auto& ops = context.ops();
+  const std::size_t n = ops.size();
+  const int total_cycles = context.length();
+
+  SimProgram p;
+  p.total_cycles_ = total_cycles;
+
+  // ------------------------------------------------- struct-of-arrays ops
+  p.kind_.reserve(n);
+  p.producer_a_.reserve(n);
+  p.producer_b_.reserve(n);
+  p.imm_a_.reserve(n);
+  p.imm_b_.reserve(n);
+  p.imm_.reserve(n);
+  p.array_id_.reserve(n);
+  p.address_.reserve(n);
+
+  std::map<std::string, std::int32_t> interned;
+  const auto slot = [](const std::vector<sched::ProgOperand>& operands,
+                       std::size_t index, std::int32_t& producer,
+                       std::int64_t& imm) {
+    if (index < operands.size() && !operands[index].is_imm()) {
+      producer = static_cast<std::int32_t>(operands[index].producer);
+      imm = 0;
+    } else {
+      // Absent operand or immediate: the dense loop reads 0 / the literal.
+      producer = -1;
+      imm = index < operands.size() ? operands[index].imm : 0;
+    }
+  };
+
+  for (const sched::ScheduledOp& op : ops) {
+    p.kind_.push_back(op.kind);
+    p.imm_.push_back(op.imm);
+    std::int32_t pa = -1, pb = -1;
+    std::int64_t ia = 0, ib = 0;
+    slot(op.operands, 0, pa, ia);
+    slot(op.operands, 1, pb, ib);
+    p.producer_a_.push_back(pa);
+    p.producer_b_.push_back(pb);
+    p.imm_a_.push_back(ia);
+    p.imm_b_.push_back(ib);
+    if (ir::is_memory_op(op.kind)) {
+      const auto [it, fresh] = interned.emplace(
+          op.array, static_cast<std::int32_t>(p.array_names_.size()));
+      if (fresh) p.array_names_.push_back(op.array);
+      p.array_id_.push_back(it->second);
+      p.address_.push_back(op.address);
+    } else {
+      p.array_id_.push_back(-1);
+      p.address_.push_back(0);
+    }
+  }
+
+  // ------------------------------------- activity list (CSR over cycles)
+  // Issue order is exactly the dense loop's visitation order: ascending
+  // cycle, then ascending op index within a cycle.
+  std::vector<std::vector<std::int64_t>> by_cycle(
+      static_cast<std::size_t>(std::max(total_cycles, 1)));
+  for (std::size_t i = 0; i < n; ++i)
+    by_cycle[static_cast<std::size_t>(ops[i].cycle)].push_back(
+        static_cast<std::int64_t>(i));
+
+  p.issue_order_.reserve(n);
+  p.issue_offsets_.push_back(0);
+  for (int t = 0; t < total_cycles; ++t) {
+    const auto& issues = by_cycle[static_cast<std::size_t>(t)];
+    if (issues.empty()) continue;
+    p.active_cycles_.push_back(t);
+    p.issue_order_.insert(p.issue_order_.end(), issues.begin(), issues.end());
+    p.issue_offsets_.push_back(
+        static_cast<std::int64_t>(p.issue_order_.size()));
+  }
+
+  // ----------------------- structural legality + schedule-static stats
+  // Replays every check of the dense reference loop over the same order.
+  // Idle cycles never mutate the dense loop's check state, so walking only
+  // the active cycles is equivalent. Per-cycle occupancy uses persistent
+  // integer-indexed tables with dirty lists instead of per-cycle maps.
+  UtilizationStats& st = p.stats_;
+  st.cycles = total_cycles;
+  st.pe_issue_slots =
+      static_cast<std::int64_t>(total_cycles) * array.num_pes();
+  const int total_units = a.sharing.total_units(array);
+  st.shared_unit_slots =
+      static_cast<std::int64_t>(total_cycles) * total_units;
+
+  std::vector<int> pe_busy_until(static_cast<std::size_t>(array.num_pes()),
+                                 0);
+  std::vector<int> ready_at(n, 0);
+  std::vector<int> row_reads(static_cast<std::size_t>(array.rows), 0);
+  std::vector<int> row_writes(static_cast<std::size_t>(array.rows), 0);
+  std::vector<char> unit_taken(static_cast<std::size_t>(total_units), 0);
+  std::vector<int> dirty_read_rows, dirty_write_rows, dirty_units;
+
+  for (std::size_t c = 0; c < p.active_cycles_.size(); ++c) {
+    const int t = p.active_cycles_[c];
+    for (int row : dirty_read_rows) row_reads[static_cast<std::size_t>(row)] = 0;
+    for (int row : dirty_write_rows)
+      row_writes[static_cast<std::size_t>(row)] = 0;
+    for (int unit : dirty_units) unit_taken[static_cast<std::size_t>(unit)] = 0;
+    dirty_read_rows.clear();
+    dirty_write_rows.clear();
+    dirty_units.clear();
+
+    for (std::int64_t s = p.issue_offsets_[c]; s < p.issue_offsets_[c + 1];
+         ++s) {
+      const auto i = static_cast<std::size_t>(p.issue_order_[s]);
+      const sched::ScheduledOp& op = ops[i];
+
+      const int pe = array.linear(op.pe);
+      if (pe_busy_until[static_cast<std::size_t>(pe)] > t)
+        throw Error("simulator: PE double-booked at cycle " +
+                    std::to_string(t));
+      pe_busy_until[static_cast<std::size_t>(pe)] =
+          t + (ir::is_critical_op(op.kind) ? op.latency : 1);
+
+      const auto require_ready = [&](const sched::ProgOperand& o) {
+        if (!o.is_imm() && ready_at[static_cast<std::size_t>(o.producer)] > t)
+          throw Error("simulator: operand consumed before ready at cycle " +
+                      std::to_string(t));
+      };
+
+      switch (op.kind) {
+        case ir::OpKind::kLoad:
+          if (++row_reads[static_cast<std::size_t>(op.pe.row)] >
+              array.read_buses_per_row)
+            throw Error("simulator: read-bus oversubscribed on row " +
+                        std::to_string(op.pe.row) + " at cycle " +
+                        std::to_string(t));
+          dirty_read_rows.push_back(op.pe.row);
+          ++st.bus_reads;
+          break;
+        case ir::OpKind::kStore:
+          if (++row_writes[static_cast<std::size_t>(op.pe.row)] >
+              array.write_buses_per_row)
+            throw Error("simulator: write-bus oversubscribed on row " +
+                        std::to_string(op.pe.row) + " at cycle " +
+                        std::to_string(t));
+          dirty_write_rows.push_back(op.pe.row);
+          require_ready(op.operands[0]);
+          ++st.bus_writes;
+          break;
+        case ir::OpKind::kNop:
+          break;
+        default: {
+          if (ir::is_critical_op(op.kind)) {
+            ++st.mult_ops;
+            if (a.shares_multiplier()) {
+              if (!op.unit)
+                throw Error("simulator: shared multiply without a unit");
+              const int unit = unit_slot(a.sharing, array, *op.unit);
+              if (unit_taken[static_cast<std::size_t>(unit)])
+                throw Error("simulator: unit " + arch::to_string(*op.unit) +
+                            " double-issued at cycle " + std::to_string(t));
+              unit_taken[static_cast<std::size_t>(unit)] = 1;
+              dirty_units.push_back(unit);
+              ++st.shared_unit_issues;
+            }
+          }
+          if (!op.operands.empty()) require_ready(op.operands[0]);
+          if (op.operands.size() > 1) require_ready(op.operands[1]);
+          break;
+        }
+      }
+      ready_at[i] = t + op.latency;
+      ++st.pe_issues;
+    }
+  }
+  return p;
+}
+
+SimResult SimProgram::run(ir::Memory& memory, ir::DatapathMode mode) const {
+  SimResult result;
+  result.stats = stats_;
+  result.values.assign(kind_.size(), 0);
+
+  const auto operand = [&result](std::int32_t producer,
+                                 std::int64_t imm) -> std::int64_t {
+    // A producer issuing later in the schedule still holds its initial 0
+    // here, exactly as in the dense loop's ready_at == 0 path.
+    return producer >= 0 ? result.values[static_cast<std::size_t>(producer)]
+                         : imm;
+  };
+
+  for (std::int64_t s = 0;
+       s < static_cast<std::int64_t>(issue_order_.size()); ++s) {
+    const auto i = static_cast<std::size_t>(issue_order_[s]);
+    std::int64_t value = 0;
+    switch (kind_[i]) {
+      case ir::OpKind::kLoad:
+        value = memory.read(array_names_[static_cast<std::size_t>(
+                                array_id_[i])],
+                            address_[i]);
+        break;
+      case ir::OpKind::kStore:
+        memory.write(
+            array_names_[static_cast<std::size_t>(array_id_[i])],
+            address_[i], operand(producer_a_[i], imm_a_[i]));
+        break;
+      case ir::OpKind::kNop:
+        break;
+      default:
+        value = ir::eval_op(kind_[i], operand(producer_a_[i], imm_a_[i]),
+                            operand(producer_b_[i], imm_b_[i]), imm_[i],
+                            mode);
+        break;
+    }
+    result.values[i] = value;
+  }
+  return result;
+}
+
+}  // namespace rsp::sim

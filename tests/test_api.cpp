@@ -31,6 +31,7 @@
 #include "kernels/registry.hpp"
 #include "runtime/eval_cache.hpp"
 #include "sched/mapper.hpp"
+#include "sim/machine.hpp"
 #include "util/error.hpp"
 
 namespace rsp::api {
@@ -175,6 +176,76 @@ TEST(Service, UnknownNamesThrowNotFound) {
   const Service service(small_options(1, 1));
   EXPECT_THROW(service.eval({"no-such-kernel"}), NotFoundError);
   EXPECT_THROW(service.map({"SAD", "no-such-arch"}), NotFoundError);
+}
+
+TEST(Service, SimulateAndVcdShareOneSimulationRun) {
+  // PR-6 satellite: vcd used to rerun the simulation simulate had already
+  // produced. Both must now resolve through the sim-run memo table.
+  const Service service(small_options(1, 1));
+  const SimulateResponse sim = service.simulate({"SAD", "RSP#4"});
+  EXPECT_EQ(sim.engine, "event");
+  EXPECT_TRUE(sim.matches_golden);
+  const CacheStatsResponse after_sim = service.cache_stats({});
+  EXPECT_EQ(after_sim.sim_stats.entries, 1u);
+  EXPECT_EQ(after_sim.sim_stats.misses, 1u);
+
+  EXPECT_FALSE(service.vcd({"SAD", "RSP#4"}).vcd.empty());
+  const CacheStatsResponse after_vcd = service.cache_stats({});
+  EXPECT_EQ(after_vcd.sim_stats.entries, 1u)
+      << "vcd must not create a second simulation run";
+  EXPECT_EQ(after_vcd.sim_stats.misses, 1u);
+  EXPECT_GT(after_vcd.sim_stats.hits, after_sim.sim_stats.hits);
+
+  // Repeating simulate is also served from the memo.
+  service.simulate({"SAD", "RSP#4"});
+  EXPECT_EQ(service.cache_stats({}).sim_stats.misses, 1u);
+}
+
+TEST(Service, SimulateEnginesAreInterchangeable) {
+  const Service service(small_options(1, 1));
+  const SimulateResponse event =
+      service.simulate({"SAD", "RSP#4", sim::SimEngine::kEvent});
+  const SimulateResponse dense =
+      service.simulate({"SAD", "RSP#4", sim::SimEngine::kDense});
+  EXPECT_EQ(event.engine, "event");
+  EXPECT_EQ(dense.engine, "dense");
+  EXPECT_EQ(event.cycles, dense.cycles);
+  EXPECT_EQ(event.pe_utilization, dense.pe_utilization);
+  EXPECT_TRUE(event.matches_golden);
+  EXPECT_TRUE(dense.matches_golden);
+  // Engines memoize under distinct keys — a dense run must never be
+  // recalled as an event run.
+  EXPECT_EQ(service.cache_stats({}).sim_stats.entries, 2u);
+}
+
+TEST(Service, SimulateBatchCoversSuiteAndMatchesSingleRuns) {
+  const Service service(small_options());
+  SimulateBatchRequest whole_suite;
+  whole_suite.kernel = "SAD";
+  const SimulateBatchResponse suite = service.simulate_batch(whole_suite);
+  EXPECT_EQ(suite.kernel, "SAD");
+  EXPECT_EQ(suite.engine, "event");
+  ASSERT_EQ(suite.rows.size(), 9u);  // Base, RS#1..4, RSP#1..4
+  EXPECT_EQ(suite.rows.front().arch, "Base");
+  EXPECT_EQ(suite.rows.back().arch, "RSP#4");
+  for (const SimulateResponse& row : suite.rows) {
+    EXPECT_TRUE(row.matches_golden) << row.arch;
+    EXPECT_GT(row.cycles, 0) << row.arch;
+  }
+
+  // An explicit arch list is honoured positionally, and every row agrees
+  // with the equivalent single-simulation request.
+  const SimulateBatchResponse pair =
+      service.simulate_batch({"SAD", {"RSP#4", "Base"}});
+  ASSERT_EQ(pair.rows.size(), 2u);
+  EXPECT_EQ(pair.rows[0].arch, "RSP#4");
+  EXPECT_EQ(pair.rows[1].arch, "Base");
+  for (const SimulateResponse& row : pair.rows) {
+    const SimulateResponse single = service.simulate({"SAD", row.arch});
+    EXPECT_EQ(row.cycles, single.cycles) << row.arch;
+    EXPECT_EQ(row.pe_utilization, single.pe_utilization) << row.arch;
+    EXPECT_EQ(row.matches_golden, single.matches_golden) << row.arch;
+  }
 }
 
 TEST(Service, HandleReportsFailuresInBand) {
@@ -369,6 +440,14 @@ TEST(Service, CacheStatsReportMappingAndEvictionFields) {
   EXPECT_EQ(body.at("mapping").at("entries").as_number(), 1);
   EXPECT_TRUE(body.at("estimates").is_object());
   EXPECT_GE(body.at("estimates").at("entries").as_number(), 0);
+
+  // PR-6: the simulation-run memo table reports its own section.
+  EXPECT_TRUE(body.at("sim").is_object());
+  EXPECT_EQ(body.at("sim").at("entries").as_number(), 0);
+  EXPECT_EQ(body.at("sim").at("max_entries").as_number(), 64);
+  service.simulate({"SAD", "RSP#2"});
+  const util::Json after = service.handle(CacheStatsRequest{});
+  EXPECT_EQ(after.at("sim").at("entries").as_number(), 1);
 }
 
 TEST(Protocol, DecodeV2ParsesTypedPayloads) {
@@ -385,6 +464,56 @@ TEST(Protocol, DecodeV2ParsesTypedPayloads) {
       R"({"protocol_version": 2, "id": 1, "op": "map",)"
       R"( "kernel": "SAD", "arch": "RSP#4"})"));
   EXPECT_EQ(std::get<MapRequest>(map_request).arch, "RSP#4");
+}
+
+TEST(Protocol, DecodeV2ParsesSimulationEngineAndBatch) {
+  // "engine" is optional on simulate/vcd and defaults to the event core.
+  const Request plain = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "simulate",)"
+      R"( "kernel": "SAD", "arch": "RSP#4"})"));
+  EXPECT_EQ(std::get<SimulateRequest>(plain).engine, sim::SimEngine::kEvent);
+
+  const Request dense = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "simulate",)"
+      R"( "kernel": "SAD", "arch": "RSP#4", "engine": "dense"})"));
+  EXPECT_EQ(std::get<SimulateRequest>(dense).engine, sim::SimEngine::kDense);
+
+  const Request vcd = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "vcd",)"
+      R"( "kernel": "SAD", "arch": "Base", "engine": "dense"})"));
+  EXPECT_EQ(std::get<VcdRequest>(vcd).engine, sim::SimEngine::kDense);
+
+  const Request batch = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "simulate_batch",)"
+      R"( "kernel": "SAD", "archs": ["Base", "RSP#1"]})"));
+  const SimulateBatchRequest& br = std::get<SimulateBatchRequest>(batch);
+  ASSERT_EQ(br.archs.size(), 2u);
+  EXPECT_EQ(br.archs[1], "RSP#1");
+  EXPECT_EQ(br.engine, sim::SimEngine::kEvent);
+
+  // Omitting "archs" selects the whole standard suite downstream.
+  const Request whole = decode_v2_request(util::Json::parse(
+      R"({"protocol_version": 2, "id": 1, "op": "simulate_batch",)"
+      R"( "kernel": "SAD"})"));
+  EXPECT_TRUE(std::get<SimulateBatchRequest>(whole).archs.empty());
+
+  try {
+    decode_v2_request(util::Json::parse(
+        R"({"protocol_version": 2, "id": 1, "op": "simulate",)"
+        R"( "kernel": "SAD", "arch": "Base", "engine": "fast"})"));
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("'fast'"), std::string::npos);
+  }
+  try {
+    decode_v2_request(util::Json::parse(
+        R"({"protocol_version": 2, "id": 1, "op": "simulate_batch",)"
+        R"( "kernel": "SAD", "archs": []})"));
+    FAIL() << "expected rejection";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("non-empty array"),
+              std::string::npos);
+  }
 }
 
 TEST(Protocol, DecodeV1KeepsLegacyRules) {

@@ -18,9 +18,12 @@
 #include "runtime/eval_cache.hpp"
 #include "runtime/mapping_cache.hpp"
 #include "runtime/parallel_explorer.hpp"
+#include "runtime/sim_batch.hpp"
 #include "runtime/striped_cache.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/mapper.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 
@@ -824,6 +827,149 @@ TEST(Batch, RejectsNonArrayInput) {
 }
 
 // -------------------------------------------------- thread-safe logging
+// --------------------------------------------------------- batched sim
+sched::ConfigurationContext schedule_workload(const kernels::Workload& w,
+                                              const arch::Architecture& a) {
+  const sched::LoopPipeliner mapper(w.array);
+  return sched::ContextScheduler().schedule(
+      mapper.map(w.kernel, w.hints, w.reduction), a);
+}
+
+TEST(SimBatch, BatchIsBitIdenticalToSerialRunsAndPositional) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::ConfigurationContext ctx =
+      schedule_workload(w, arch::rsp_architecture(4));
+
+  // Six memories, each perturbed at a distinct address so a shuffled result
+  // order could not pass.
+  std::vector<ir::Memory> memories(6);
+  for (int i = 0; i < 6; ++i) {
+    w.setup(memories[static_cast<std::size_t>(i)]);
+    memories[static_cast<std::size_t>(i)].write("cur", i, 100 + i);
+  }
+
+  const std::vector<SimBatchResult> batch =
+      simulate_batch(ctx, memories, SimBatchOptions{.threads = 4});
+  ASSERT_EQ(batch.size(), memories.size());
+
+  const sim::Machine dense;  // serial reference on the dense engine
+  for (std::size_t i = 0; i < memories.size(); ++i) {
+    ir::Memory serial = memories[i];
+    const sim::SimResult expected = dense.run(ctx, serial);
+    EXPECT_TRUE(batch[i].result == expected) << "job " << i;
+    EXPECT_TRUE(batch[i].memory == serial) << "job " << i;
+  }
+}
+
+TEST(SimBatch, DenseAndEventEngineBatchesAgree) {
+  const kernels::Workload w = kernels::find_workload("Inner product");
+  const sched::ConfigurationContext ctx =
+      schedule_workload(w, arch::rs_architecture(2));
+  std::vector<ir::Memory> memories(3);
+  for (auto& m : memories) w.setup(m);
+
+  const auto event = simulate_batch(
+      ctx, memories,
+      SimBatchOptions{.threads = 2, .engine = sim::SimEngine::kEvent});
+  const auto dense = simulate_batch(
+      ctx, memories,
+      SimBatchOptions{.threads = 2, .engine = sim::SimEngine::kDense});
+  ASSERT_EQ(event.size(), dense.size());
+  for (std::size_t i = 0; i < event.size(); ++i) {
+    EXPECT_TRUE(event[i].result == dense[i].result) << "job " << i;
+    EXPECT_TRUE(event[i].memory == dense[i].memory) << "job " << i;
+  }
+}
+
+TEST(SimBatch, EmptyAndSingleJobShortcuts) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::ConfigurationContext ctx =
+      schedule_workload(w, arch::base_architecture());
+  EXPECT_TRUE(simulate_batch(ctx, {}).empty());
+
+  std::vector<ir::Memory> one(1);
+  w.setup(one[0]);
+  ir::Memory serial = one[0];
+  const auto batch = simulate_batch(ctx, std::move(one));
+  ASSERT_EQ(batch.size(), 1u);
+  const sim::SimResult expected = sim::Machine().run(ctx, serial);
+  EXPECT_TRUE(batch[0].result == expected);
+  EXPECT_TRUE(batch[0].memory == serial);
+}
+
+TEST(SimBatch, RunsOnExternalPool) {
+  const kernels::Workload w = kernels::find_workload("MVM");
+  const sched::ConfigurationContext ctx =
+      schedule_workload(w, arch::rsp_architecture(1));
+  std::vector<ir::Memory> memories(4);
+  for (auto& m : memories) w.setup(m);
+
+  ThreadPool pool(2);
+  SimBatchOptions options;
+  options.pool = &pool;
+  const auto batch = simulate_batch(ctx, memories, options);
+  ASSERT_EQ(batch.size(), 4u);
+  ir::Memory golden;
+  w.setup(golden);
+  w.golden(golden);
+  for (const auto& out : batch) EXPECT_TRUE(out.memory == golden);
+}
+
+TEST(SimBatch, SimulateManyIsPositionalAcrossContexts) {
+  const kernels::Workload sad = kernels::find_workload("SAD");
+  const kernels::Workload mvm = kernels::find_workload("MVM");
+  const sched::ConfigurationContext sad_ctx =
+      schedule_workload(sad, arch::rsp_architecture(4));
+  const sched::ConfigurationContext mvm_ctx =
+      schedule_workload(mvm, arch::base_architecture());
+
+  std::vector<ir::Memory> memories(2);
+  sad.setup(memories[0]);
+  mvm.setup(memories[1]);
+  const auto outcomes = simulate_many({&sad_ctx, &mvm_ctx}, memories,
+                                      SimBatchOptions{.threads = 2});
+  ASSERT_EQ(outcomes.size(), 2u);
+
+  ir::Memory sad_golden, mvm_golden;
+  sad.setup(sad_golden);
+  sad.golden(sad_golden);
+  mvm.setup(mvm_golden);
+  mvm.golden(mvm_golden);
+  EXPECT_TRUE(outcomes[0].memory == sad_golden);
+  EXPECT_TRUE(outcomes[1].memory == mvm_golden);
+}
+
+TEST(SimBatch, SimulateManyValidatesShapes) {
+  const kernels::Workload w = kernels::find_workload("SAD");
+  const sched::ConfigurationContext ctx =
+      schedule_workload(w, arch::base_architecture());
+  std::vector<ir::Memory> two(2);
+  w.setup(two[0]);
+  w.setup(two[1]);
+  EXPECT_THROW(simulate_many({&ctx}, two), InvalidArgumentError);
+  std::vector<ir::Memory> one(1);
+  w.setup(one[0]);
+  EXPECT_THROW(simulate_many({nullptr}, one), InvalidArgumentError);
+}
+
+TEST(SimBatch, PropagatesSimulationErrorsFromWorkers) {
+  // Two kConst ops double-book PE (0,0): every job must fail, and the
+  // batch call surfaces the first failure by position.
+  std::vector<sched::ScheduledOp> ops(2);
+  ops[0].kind = ir::OpKind::kConst;
+  ops[1].kind = ir::OpKind::kConst;
+  const sched::ConfigurationContext ctx(arch::base_architecture(), ops);
+  std::vector<ir::Memory> memories(3);
+  for (const sim::SimEngine engine :
+       {sim::SimEngine::kDense, sim::SimEngine::kEvent}) {
+    SimBatchOptions options;
+    options.threads = 2;
+    options.engine = engine;
+    EXPECT_THROW(simulate_batch(ctx, memories, options), Error)
+        << sim::engine_name(engine);
+  }
+}
+
 TEST(LoggingThreads, ConcurrentEmissionIsSerializedAndLossless) {
   std::mutex sink_mutex;
   std::vector<std::string> lines;

@@ -19,6 +19,7 @@
 #include "api/service.hpp"
 #include "api/socket_server.hpp"
 #include "core/report_json.hpp"
+#include "sim/machine.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -80,10 +81,10 @@ int cmd_eval(const api::Service& service, const std::string& kernel,
 }
 
 int cmd_simulate(const api::Service& service, const std::string& kernel,
-                 const std::string& arch) {
-  const api::SimulateResponse resp = service.simulate({kernel, arch});
-  std::cout << resp.kernel << " on " << resp.arch << ": " << resp.cycles
-            << " cycles, PE util "
+                 const std::string& arch, sim::SimEngine engine) {
+  const api::SimulateResponse resp = service.simulate({kernel, arch, engine});
+  std::cout << resp.kernel << " on " << resp.arch << " (" << resp.engine
+            << " engine): " << resp.cycles << " cycles, PE util "
             << util::format_trimmed(100 * resp.pe_utilization, 1)
             << "%, result "
             << (resp.matches_golden ? "matches golden" : "MISMATCH") << "\n";
@@ -277,7 +278,8 @@ int usage() {
          "grid\n"
          "  eval <kernel> [--json]            Tables-4/5-style row for one "
          "kernel\n"
-         "  simulate <kernel> <arch>          run on the cycle simulator, "
+         "  simulate <kernel> <arch> [--engine dense|event]\n"
+         "                                    run on the cycle simulator, "
          "verify\n"
          "  explore|dse [--threads N]         DSE over the full kernel "
          "domain\n"
@@ -344,10 +346,24 @@ int main(int argc, char** argv) {
       if (cmd == "rtl") return cmd_rtl(light_service(), args[1]);
       if (cmd == "dot") return cmd_dot(light_service(), args[1]);
     }
+    if (cmd == "simulate" && args.size() >= 3) {
+      sim::SimEngine engine = sim::SimEngine::kEvent;
+      for (std::size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--engine") {
+          if (i + 1 >= args.size())
+            throw rsp::InvalidArgumentError(
+                "--engine requires 'dense' or 'event'");
+          engine = sim::parse_sim_engine(args[++i]);
+        } else {
+          throw rsp::InvalidArgumentError(
+              "unknown flag '" + args[i] +
+              "' for simulate (--engine dense|event)");
+        }
+      }
+      return cmd_simulate(light_service(), args[1], args[2], engine);
+    }
     if (args.size() == 3) {
       if (cmd == "map") return cmd_map(light_service(), args[1], args[2]);
-      if (cmd == "simulate")
-        return cmd_simulate(light_service(), args[1], args[2]);
       if (cmd == "vcd") return cmd_vcd(light_service(), args[1], args[2]);
       if (cmd == "bitstream")
         return cmd_bitstream(light_service(), args[1], args[2]);
