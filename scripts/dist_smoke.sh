@@ -1,0 +1,91 @@
+#!/usr/bin/env sh
+# Distributed-DSE smoke: `rsp_cli dse --workers a,b,c` must print output
+# byte-identical to single-process `rsp_cli dse` — both on a healthy
+# 3-worker fleet and when one worker is killed (SIGKILL) mid-run, which
+# forces the coordinator to re-dispatch that worker's shards to the
+# survivors.
+#
+#   scripts/dist_smoke.sh <rsp_cli binary>
+set -eu
+
+cli=$1
+workdir=$(mktemp -d)
+w1_pid=
+w2_pid=
+w3_pid=
+cleanup() {
+  for pid in "$w1_pid" "$w2_pid" "$w3_pid"; do
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+# Reference: the single-process explorer over the full paper domain.
+"$cli" dse > "$workdir/expect" 2> "$workdir/expect.log"
+
+start_worker() {
+  # $1 = slot name. Binds an ephemeral TCP port and prints READY <addr>.
+  "$cli" worker 127.0.0.1:0 --threads 2 \
+    > "$workdir/$1.ready" 2> "$workdir/$1.log" &
+}
+
+wait_ready() {
+  # $1 = slot name. Echoes the resolved address from the READY line.
+  i=0
+  while ! grep -q "^READY " "$workdir/$1.ready" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+      echo "dist_smoke: worker $1 never printed READY" >&2
+      cat "$workdir/$1.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  awk '/^READY /{print $2; exit}' "$workdir/$1.ready"
+}
+
+start_worker w1; w1_pid=$!
+start_worker w2; w2_pid=$!
+start_worker w3; w3_pid=$!
+a1=$(wait_ready w1)
+a2=$(wait_ready w2)
+a3=$(wait_ready w3)
+
+# Run 1: healthy fleet.
+if ! "$cli" dse --workers "$a1,$a2,$a3" \
+    > "$workdir/got_healthy" 2> "$workdir/healthy.log"; then
+  echo "dist_smoke: dse --workers failed on a healthy fleet" >&2
+  cat "$workdir/healthy.log" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/expect" "$workdir/got_healthy"; then
+  echo "dist_smoke: healthy-fleet output diverges from single-process dse" >&2
+  diff "$workdir/expect" "$workdir/got_healthy" >&2 || true
+  exit 1
+fi
+
+# Run 2: kill one worker shortly after the run starts; its shards must be
+# re-dispatched to the survivors with byte-identical results.
+"$cli" dse --workers "$a1,$a2,$a3" \
+  > "$workdir/got_degraded" 2> "$workdir/degraded.log" &
+dse_pid=$!
+sleep 0.05
+kill -9 "$w3_pid" 2>/dev/null || true
+wait "$w3_pid" 2>/dev/null || true
+w3_pid=
+dse_rc=0
+wait "$dse_pid" || dse_rc=$?
+if [ "$dse_rc" -ne 0 ]; then
+  echo "dist_smoke: dse --workers exited $dse_rc after a worker was killed" >&2
+  cat "$workdir/degraded.log" >&2
+  exit 1
+fi
+if ! cmp -s "$workdir/expect" "$workdir/got_degraded"; then
+  echo "dist_smoke: degraded-fleet output diverges from single-process dse" >&2
+  diff "$workdir/expect" "$workdir/got_degraded" >&2 || true
+  exit 1
+fi
+
+echo "dist_smoke: 3-worker and worker-killed runs byte-identical to" \
+  "single-process dse ($(wc -c < "$workdir/expect" | tr -d ' ') bytes)"

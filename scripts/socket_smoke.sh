@@ -38,19 +38,26 @@ EOF
   | sort > "$workdir/expect_b"
 
 "$cli" serve --listen "$sock" --threads 2 --max-connections 8 \
-  2> "$workdir/server.log" &
+  > "$workdir/server.ready" 2> "$workdir/server.log" &
 server_pid=$!
 
+# The server prints a machine-parseable "READY <resolved-addr>" line per
+# listener once it is accepting — no connect-polling needed.
 i=0
-while [ ! -S "$sock" ]; do
+while ! grep -q "^READY " "$workdir/server.ready" 2>/dev/null; do
   i=$((i + 1))
   if [ "$i" -gt 100 ]; then
-    echo "socket_smoke: server did not create $sock" >&2
+    echo "socket_smoke: server never printed READY for $sock" >&2
     cat "$workdir/server.log" >&2
     exit 1
   fi
   sleep 0.1
 done
+ready_addr=$(awk '/^READY /{print $2; exit}' "$workdir/server.ready")
+if [ "$ready_addr" != "$sock" ]; then
+  echo "socket_smoke: READY reported '$ready_addr', expected '$sock'" >&2
+  exit 1
+fi
 
 # Two clients at once, overlapping ids.
 "$cli" connect "$sock" < "$workdir/requests_a.ndjson" \

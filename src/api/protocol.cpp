@@ -242,11 +242,40 @@ Request decode_v2_request(const util::Json& doc) {
       request.delay_ms = doc.at("delay_ms").as_int("'delay_ms'");
     return request;
   }
+  if (op == "dse_shard") {
+    require_known_fields(doc, op, {"kernels", "config", "begin", "end",
+                                   "mode"});
+    DseShardRequest request;
+    request.kernels = parse_kernel_names(doc);
+    request.config = parse_dse_config(doc);
+    for (const char* field : {"begin", "end"})
+      if (!doc.contains(field))
+        throw InvalidArgumentError("op 'dse_shard' requires a '" +
+                                   std::string(field) + "' field");
+    request.begin = doc.at("begin").as_int("'begin'");
+    request.end = doc.at("end").as_int("'end'");
+    if (request.begin < 0)
+      throw InvalidArgumentError("'begin' must be non-negative");
+    if (request.end <= request.begin)
+      throw InvalidArgumentError(
+          "shard range is empty ('end' must exceed 'begin')");
+    const std::string mode = require_string(doc, "mode", op);
+    if (mode == "exact")
+      request.exact = true;
+    else if (mode != "estimate")
+      throw InvalidArgumentError("unknown shard mode '" + mode +
+                                 "' (expected \"estimate\" or \"exact\")");
+    return request;
+  }
+  if (op == "worker_info") {
+    require_known_fields(doc, op, {});
+    return WorkerInfoRequest{};
+  }
   throw InvalidArgumentError(
       "unknown op '" + op +
       "' (expected one of: list, eval, dse, map, simulate, simulate_batch, "
       "rtl, dot, vcd, bitstream, cache_stats, cache_save, cache_load, "
-      "ping)");
+      "ping, dse_shard, worker_info)");
 }
 
 // ------------------------------------------------------------------ bodies
@@ -433,6 +462,69 @@ util::Json to_body(const PingResponse& resp) {
   util::Json body = ok_body("ping");
   body.set("delay_ms", resp.delay_ms);
   return body;
+}
+
+util::Json to_body(const DseShardResponse& resp) {
+  util::Json body = ok_body("dse_shard");
+  body.set("mode", resp.exact ? "exact" : "estimate")
+      .set("begin", static_cast<std::int64_t>(resp.begin))
+      .set("end", static_cast<std::int64_t>(resp.end));
+  if (resp.exact) {
+    // [point][kernel] matrices, shard order × domain order.
+    util::Json cycles = util::Json::array();
+    util::Json stalls = util::Json::array();
+    for (std::size_t i = 0; i < resp.cycles.size(); ++i) {
+      util::Json cycle_row = util::Json::array();
+      util::Json stall_row = util::Json::array();
+      for (std::size_t k = 0; k < resp.cycles[i].size(); ++k) {
+        cycle_row.push(static_cast<std::int64_t>(resp.cycles[i][k]));
+        stall_row.push(static_cast<std::int64_t>(resp.stalls[i][k]));
+      }
+      cycles.push(std::move(cycle_row));
+      stalls.push(std::move(stall_row));
+    }
+    body.set("cycles", std::move(cycles));
+    body.set("stalls", std::move(stalls));
+  } else {
+    body.set("base_cycles", static_cast<std::int64_t>(resp.base_cycles));
+    util::Json estimates = util::Json::array();
+    for (const long value : resp.estimated_cycles)
+      estimates.push(static_cast<std::int64_t>(value));
+    body.set("estimated_cycles", std::move(estimates));
+  }
+  return body;
+}
+
+util::Json to_body(const WorkerInfoResponse& resp) {
+  util::Json body = ok_body("worker_info");
+  body.set("threads", resp.threads)
+      .set("max_inflight", resp.max_inflight)
+      .set("kernels", static_cast<std::int64_t>(resp.kernels))
+      .set("architectures", static_cast<std::int64_t>(resp.architectures))
+      .set("pid", static_cast<std::int64_t>(resp.pid));
+  return body;
+}
+
+util::Json encode_dse_config(const dse::ExplorerConfig& config) {
+  util::Json doc = util::Json::object();
+  doc.set("max_units_per_row", config.max_units_per_row)
+      .set("max_units_per_col", config.max_units_per_col)
+      .set("max_stages", config.max_stages)
+      .set("max_area_ratio", config.max_area_ratio)
+      .set("max_time_ratio", config.max_time_ratio)
+      .set("pareto_epsilon", config.pareto_epsilon);
+  switch (config.objective) {
+    case dse::Objective::kMinTime:
+      doc.set("objective", "min_time");
+      break;
+    case dse::Objective::kMinArea:
+      doc.set("objective", "min_area");
+      break;
+    case dse::Objective::kMinAreaTimeProduct:
+      doc.set("objective", "min_area_time");
+      break;
+  }
+  return doc;
 }
 
 util::Json error_body(const std::string& message) {

@@ -56,6 +56,14 @@ util::Json to_body(const CacheStatsResponse&);
 util::Json to_body(const CacheSaveResponse&);
 util::Json to_body(const CacheLoadResponse&);
 util::Json to_body(const PingResponse&);
+util::Json to_body(const DseShardResponse&);
+util::Json to_body(const WorkerInfoResponse&);
+
+/// Inverse of the "config" payload parser: renders `config` as the wire
+/// object `dse`/`dse_shard` decode accepts, with every field explicit —
+/// how the coordinator pins one run's exact configuration across workers
+/// instead of trusting their defaults to match.
+util::Json encode_dse_config(const dse::ExplorerConfig& config);
 
 /// {"ok": false, "error": message} — the in-band failure body.
 util::Json error_body(const std::string& message);

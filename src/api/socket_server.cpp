@@ -89,16 +89,23 @@ ListenAddress parse_listen_address(const std::string& spec) {
   return address;
 }
 
-int connect_socket(const ListenAddress& address) {
+namespace {
+
+// One connection attempt. Returns the connected fd, or -1 with `reason`
+// and `err` (the last connect/socket errno) filled in; non-retryable
+// resolution failures throw directly.
+int try_connect(const ListenAddress& address, std::string& reason,
+                int& err) {
   if (address.kind == ListenAddress::Kind::kUnix) {
     const sockaddr_un sun = make_unix_addr(address.path);
     const int fd = checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
     set_cloexec(fd);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&sun), sizeof(sun)) !=
         0) {
-      const std::string reason = std::strerror(errno);
+      err = errno;
+      reason = std::strerror(err);
       ::close(fd);
-      throw Error("cannot connect to '" + address.path + "': " + reason);
+      return -1;
     }
     return fd;
   }
@@ -114,11 +121,12 @@ int connect_socket(const ListenAddress& address) {
   if (rc != 0)
     throw Error("cannot resolve '" + host + "': " + ::gai_strerror(rc));
   int fd = -1;
-  std::string reason = "no usable addresses";
+  reason = "no usable addresses";
   for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
-      reason = std::strerror(errno);
+      err = errno;
+      reason = std::strerror(err);
       continue;
     }
     set_cloexec(fd);
@@ -126,14 +134,46 @@ int connect_socket(const ListenAddress& address) {
       set_nodelay(fd);
       break;
     }
-    reason = std::strerror(errno);
+    err = errno;
+    reason = std::strerror(err);
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(results);
-  if (fd < 0)
-    throw Error("cannot connect to '" + address.spec() + "': " + reason);
   return fd;
+}
+
+// Worth retrying: the server exists but is not accepting *yet* — refused
+// (not bound / backlog reset), a unix socket file not created yet, or a
+// race with a restarting listener.
+bool transient_connect_error(int err) {
+  return err == ECONNREFUSED || err == ENOENT || err == ECONNRESET;
+}
+
+}  // namespace
+
+int connect_socket(const ListenAddress& address) {
+  return connect_socket(address, ConnectOptions{});
+}
+
+int connect_socket(const ListenAddress& address,
+                   const ConnectOptions& options) {
+  if (options.attempts < 1)
+    throw InvalidArgumentError("connect 'attempts' must be positive");
+  if (options.backoff_ms < 0)
+    throw InvalidArgumentError("connect 'backoff_ms' must be non-negative");
+  for (int attempt = 1;; ++attempt) {
+    std::string reason;
+    int err = 0;
+    const int fd = try_connect(address, reason, err);
+    if (fd >= 0) return fd;
+    if (attempt >= options.attempts || !transient_connect_error(err))
+      throw Error("cannot connect to '" + address.spec() + "': " + reason);
+    // Linear backoff keeps the worst case bounded and predictable:
+    // attempts × backoff grows quadratically, not exponentially.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.backoff_ms * attempt));
+  }
 }
 
 // --------------------------------------------------------------- streambuf
@@ -624,8 +664,8 @@ util::Json SocketServer::stats_json() const {
 }
 
 int run_socket_client(const ListenAddress& address, std::istream& in,
-                      std::ostream& out) {
-  const int fd = connect_socket(address);
+                      std::ostream& out, const ConnectOptions& connect) {
+  const int fd = connect_socket(address, connect);
   SocketStreamBuf buf(fd);
   std::istream sock_in(&buf);
   std::ostream sock_out(&buf);

@@ -60,6 +60,21 @@ ListenAddress parse_listen_address(const std::string& spec);
 /// above). Returns the connected fd; throws rsp::Error on failure.
 int connect_socket(const ListenAddress& address);
 
+/// Bounded retry policy for `connect_socket`: a worker that is still
+/// binding (ECONNREFUSED, or ENOENT for a unix socket not yet created) is
+/// retried up to `attempts` times, sleeping `backoff_ms * attempt` between
+/// tries. Non-transient failures (resolution errors, EACCES, ...) are
+/// never retried. The default is a single attempt — identical to the
+/// plain overload — so callers opt in explicitly (`rsp_cli connect
+/// --retry`, the coordinator's worker links).
+struct ConnectOptions {
+  int attempts = 1;
+  int backoff_ms = 25;
+};
+
+int connect_socket(const ListenAddress& address,
+                   const ConnectOptions& options);
+
 // -------------------------------------------------------------- streambuf
 
 /// A std::streambuf over a connected socket fd, buffered both ways.
@@ -166,8 +181,9 @@ class SocketServer {
 /// `out` — tolerating arbitrary out-of-order and bursty completions — then
 /// half-closes the write side on input EOF and returns once the server has
 /// drained and closed. Returns the process exit code (non-zero when `out`
-/// failed); throws rsp::Error when the connection cannot be established.
+/// failed); throws rsp::Error when the connection cannot be established
+/// (after `connect`'s bounded retries, single-attempt by default).
 int run_socket_client(const ListenAddress& address, std::istream& in,
-                      std::ostream& out);
+                      std::ostream& out, const ConnectOptions& connect = {});
 
 }  // namespace rsp::api

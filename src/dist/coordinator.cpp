@@ -1,0 +1,504 @@
+#include "dist/coordinator.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "api/protocol.hpp"
+#include "kernels/registry.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace rsp::dist {
+
+// ------------------------------------------------------------ run plumbing
+
+/// One per-run worker connection. The owning phase thread is the only
+/// reader/writer of the streams; the shared PhaseState mutex covers every
+/// field the merge and accounting paths read.
+struct DseCoordinator::WorkerLink {
+  std::size_t index = 0;  ///< into addresses_ / worker_stats_
+  api::ListenAddress address;
+  int fd = -1;
+  std::unique_ptr<api::SocketStreamBuf> buf;
+  std::unique_ptr<std::istream> in;
+  std::unique_ptr<std::ostream> out;
+  bool alive = false;
+  long next_id = 0;
+  std::string last_error;
+  // Run-local counters, folded into worker_stats_ once per run.
+  long shards = 0;
+  long retries = 0;
+  long busy_ms = 0;
+};
+
+struct DseCoordinator::Shard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  int attempts = 0;  ///< transport failures so far
+};
+
+/// The pull queue one phase's worker threads drain. Workers pop shards
+/// when ready (work stealing by construction: a slow worker simply pulls
+/// less), push failed shards back for the survivors, and wait on the
+/// condition while peers still have shards in flight — an in-flight shard
+/// may yet be re-queued.
+struct DseCoordinator::PhaseState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Shard> queue;
+  std::size_t pending = 0;  ///< shards queued or in flight
+  int active_workers = 0;
+  bool failed = false;
+  std::string error;
+  long redispatched = 0;
+  /// op/kernels/config/mode — identical for every shard of the phase;
+  /// begin/end and the envelope are stamped per request.
+  util::Json request_template;
+  /// Merges one ok response into the run's slots; called under `mu`, in
+  /// completion order (slot writes make order irrelevant). Throws
+  /// rsp::Error on malformed or inconsistent payloads — fatal.
+  std::function<void(const Shard&, const util::Json&)> apply;
+};
+
+DseCoordinator::DseCoordinator(std::vector<api::ListenAddress> workers,
+                               CoordinatorOptions options)
+    : addresses_(std::move(workers)),
+      options_(options),
+      worker_stats_(addresses_.size()) {
+  if (addresses_.empty())
+    throw InvalidArgumentError("coordinator requires at least one worker");
+  if (options_.shard_points < 1)
+    throw InvalidArgumentError("'shard_points' must be positive");
+  if (options_.max_shard_attempts < 1)
+    throw InvalidArgumentError("'max_shard_attempts' must be positive");
+  if (options_.request_timeout_ms < 0)
+    throw InvalidArgumentError("'request_timeout_ms' must be non-negative");
+  if (options_.redispatch_backoff_ms < 0)
+    throw InvalidArgumentError("'redispatch_backoff_ms' must be non-negative");
+}
+
+DseCoordinator::~DseCoordinator() = default;
+
+std::vector<DseCoordinator::WorkerLink> DseCoordinator::connect_workers() {
+  std::vector<WorkerLink> links;
+  links.reserve(addresses_.size());
+  try {
+    for (std::size_t i = 0; i < addresses_.size(); ++i) {
+      WorkerLink link;
+      link.index = i;
+      link.address = addresses_[i];
+      link.fd = api::connect_socket(link.address, options_.connect);
+      if (options_.request_timeout_ms > 0) {
+        // Per-request timeout: a stalled worker surfaces as a failed
+        // recv/send, which the transport-failure path turns into a
+        // redispatch.
+        timeval tv{};
+        tv.tv_sec = options_.request_timeout_ms / 1000;
+        tv.tv_usec =
+            static_cast<suseconds_t>(options_.request_timeout_ms % 1000) *
+            1000;
+        ::setsockopt(link.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        ::setsockopt(link.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      }
+      link.buf = std::make_unique<api::SocketStreamBuf>(link.fd);
+      link.in = std::make_unique<std::istream>(link.buf.get());
+      link.out = std::make_unique<std::ostream>(link.buf.get());
+      link.alive = true;
+      links.push_back(std::move(link));
+
+      // Handshake: proves the peer speaks v2 *and* the worker ops before
+      // any shard is entrusted to it. A pre-dist server answers with its
+      // unknown-op error, which is exactly the message to surface.
+      WorkerLink& back = links.back();
+      util::Json probe = util::Json::object();
+      probe.set("op", "worker_info");
+      util::Json info;
+      if (!round_trip(back, std::move(probe), info))
+        throw Error("worker '" + back.address.spec() +
+                    "' handshake failed: " + back.last_error);
+      const bool ok = info.contains("ok") && info.at("ok").is_bool() &&
+                      info.at("ok").as_bool();
+      if (!ok) {
+        const std::string why =
+            info.contains("error") && info.at("error").is_string()
+                ? info.at("error").as_string()
+                : info.dump();
+        throw Error("worker '" + back.address.spec() +
+                    "' refused the worker_info handshake: " + why);
+      }
+    }
+  } catch (...) {
+    for (WorkerLink& link : links)
+      if (link.fd >= 0) ::close(link.fd);
+    throw;
+  }
+  return links;
+}
+
+bool DseCoordinator::round_trip(WorkerLink& link, util::Json request,
+                                util::Json& response) {
+  const std::string id = "shard-" + std::to_string(++link.next_id);
+  util::Json envelope = util::Json::object();
+  envelope.set("protocol_version", api::kProtocolVersion);
+  envelope.set("id", id);
+  envelope.merge(std::move(request));
+
+  const auto start = std::chrono::steady_clock::now();
+  *link.out << envelope.dump() << "\n" << std::flush;
+  if (!*link.out) {
+    link.last_error = "send failed";
+    return false;
+  }
+  std::string line;
+  if (!std::getline(*link.in, line)) {
+    link.last_error = link.buf->read_failed()
+                          ? "connection reset or request timed out"
+                          : "connection closed by worker";
+    return false;
+  }
+  link.busy_ms += std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  try {
+    response = util::Json::parse(line);
+  } catch (const std::exception& e) {
+    link.last_error = std::string("malformed response: ") + e.what();
+    return false;
+  }
+  // Strict pairing: exactly one outstanding request per link, so anything
+  // but our own id echoed back means the conversation is corrupt.
+  if (!response.is_object() || !response.contains("id") ||
+      !response.at("id").is_string() ||
+      response.at("id").as_string() != id) {
+    link.last_error = "response id mismatch";
+    return false;
+  }
+  return true;
+}
+
+void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
+  for (;;) {
+    Shard shard;
+    {
+      std::unique_lock<std::mutex> lk(state.mu);
+      state.cv.wait(lk, [&] {
+        return state.failed || !state.queue.empty() || state.pending == 0;
+      });
+      // Queue empty with nothing in flight = phase done; an in-flight
+      // shard elsewhere may still be re-queued, so keep waiting for it.
+      if (state.failed || state.queue.empty()) return;
+      shard = state.queue.front();
+      state.queue.pop_front();
+    }
+    if (shard.attempts > 0 && options_.redispatch_backoff_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          options_.redispatch_backoff_ms * shard.attempts));
+
+    util::Json request = state.request_template;
+    request.set("begin", static_cast<std::int64_t>(shard.begin));
+    request.set("end", static_cast<std::int64_t>(shard.end));
+
+    util::Json response;
+    if (!round_trip(link, std::move(request), response)) {
+      // Transport failure: this worker is dead for the rest of the run;
+      // its shard goes back to the survivors (bounded attempts).
+      std::lock_guard<std::mutex> lk(state.mu);
+      link.alive = false;
+      ++link.retries;
+      --state.active_workers;
+      ++shard.attempts;
+      if (shard.attempts >= options_.max_shard_attempts) {
+        state.failed = true;
+        state.error = "shard [" + std::to_string(shard.begin) + ", " +
+                      std::to_string(shard.end) + ") failed " +
+                      std::to_string(shard.attempts) +
+                      " times (last: " + link.last_error + ")";
+      } else if (state.active_workers == 0) {
+        state.failed = true;
+        state.error = "all workers lost with shards pending (last: " +
+                      link.last_error + ")";
+      } else {
+        state.queue.push_back(shard);
+        ++state.redispatched;
+        RSP_LOG(kWarning) << "worker " << link.address.spec()
+                       << " lost, re-dispatching shard [" << shard.begin
+                       << ", " << shard.end << "): " << link.last_error;
+      }
+      state.cv.notify_all();
+      return;
+    }
+
+    std::lock_guard<std::mutex> lk(state.mu);
+    if (state.failed) return;
+    try {
+      // An in-band rejection is fatal, not retryable: shard requests are
+      // deterministic, so every worker would reject them identically.
+      const bool ok = response.contains("ok") &&
+                      response.at("ok").is_bool() &&
+                      response.at("ok").as_bool();
+      if (!ok) {
+        const std::string why =
+            response.contains("error") && response.at("error").is_string()
+                ? response.at("error").as_string()
+                : response.dump();
+        throw Error("worker " + link.address.spec() +
+                    " rejected shard: " + why);
+      }
+      state.apply(shard, response);
+    } catch (const std::exception& e) {
+      state.failed = true;
+      state.error = e.what();
+      state.cv.notify_all();
+      return;
+    }
+    ++link.shards;
+    --state.pending;
+    state.cv.notify_all();
+  }
+}
+
+void DseCoordinator::run_phase(std::vector<WorkerLink>& links,
+                               PhaseState& state, const char* phase) {
+  if (state.queue.empty()) return;
+  state.pending = state.queue.size();
+  std::vector<WorkerLink*> alive;
+  for (WorkerLink& link : links)
+    if (link.alive) alive.push_back(&link);
+  if (alive.empty())
+    throw Error(std::string("no live workers left for the ") + phase +
+                " phase");
+  state.active_workers = static_cast<int>(alive.size());
+
+  std::vector<std::thread> threads;
+  threads.reserve(alive.size());
+  for (WorkerLink* link : alive)
+    threads.emplace_back(
+        [this, link, &state] { worker_loop(*link, state); });
+  for (std::thread& t : threads) t.join();
+
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    redispatched_ += state.redispatched;
+  }
+  if (state.failed)
+    throw Error(std::string("distributed ") + phase +
+                " phase failed: " + state.error);
+}
+
+void DseCoordinator::fold_stats(const std::vector<WorkerLink>& links) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++runs_;
+  for (const WorkerLink& link : links) {
+    WorkerStats& stats = worker_stats_[link.index];
+    stats.shards += link.shards;
+    stats.retries += link.retries;
+    stats.busy_ms += link.busy_ms;
+    stats.alive = link.alive;
+    shards_ += link.shards;
+    if (!link.alive) ++workers_lost_;
+  }
+}
+
+// ------------------------------------------------------------------- runs
+
+namespace {
+
+util::Json shard_request_template(const std::vector<std::string>& kernels,
+                                  const dse::ExplorerConfig& config,
+                                  bool exact) {
+  util::Json doc = util::Json::object();
+  doc.set("op", "dse_shard");
+  util::Json names = util::Json::array();
+  for (const std::string& name : kernels) names.push(name);
+  doc.set("kernels", std::move(names));
+  doc.set("config", api::encode_dse_config(config));
+  doc.set("mode", exact ? "exact" : "estimate");
+  return doc;
+}
+
+long integer_field(const util::Json& doc, std::size_t index,
+                   const char* what) {
+  const util::Json& value = doc.at(index);
+  if (!value.is_number())
+    throw Error(std::string("worker returned a non-numeric ") + what);
+  return static_cast<long>(value.as_number());
+}
+
+}  // namespace
+
+api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+
+  // Resolve the domain exactly as Service::dse does (empty = the paper
+  // suite), so coordinator and workers agree on the run by construction —
+  // the resolved names are pinned into every shard request.
+  std::vector<kernels::Workload> domain;
+  if (request.kernels.empty()) {
+    domain = kernels::paper_suite();
+  } else {
+    const std::vector<kernels::Workload> catalogue =
+        kernels::full_catalogue();
+    for (const std::string& name : request.kernels)
+      domain.push_back(kernels::find_in_catalogue(catalogue, name));
+  }
+  api::DseResponse resp;
+  for (const kernels::Workload& w : domain) resp.kernels.push_back(w.name);
+
+  const dse::Explorer explorer(domain.front().array, request.config);
+  const std::vector<dse::DesignPoint> points = explorer.enumerate_points();
+  const arch::Architecture base = explorer.base_architecture();
+  const std::size_t num_kernels = domain.size();
+
+  std::vector<WorkerLink> links = connect_workers();
+  try {
+    // Phase 1: estimate shards over the whole grid. Workers return
+    // integer cycle sums only; slot i always receives enumeration index
+    // i's sum, so completion order is irrelevant.
+    std::vector<long> estimated(points.size(), 0);
+    std::optional<long> base_cycles;
+    {
+      PhaseState state;
+      state.request_template =
+          shard_request_template(resp.kernels, request.config, false);
+      const auto shard_points =
+          static_cast<std::size_t>(options_.shard_points);
+      for (std::size_t lo = 0; lo < points.size(); lo += shard_points)
+        state.queue.push_back(
+            {lo, std::min(lo + shard_points, points.size()), 0});
+      state.apply = [&](const Shard& shard, const util::Json& body) {
+        const util::Json& est = body.at("estimated_cycles");
+        if (!est.is_array() || est.size() != shard.end - shard.begin)
+          throw Error("worker returned a malformed estimate shard");
+        if (!body.at("base_cycles").is_number())
+          throw Error("worker returned a non-numeric base_cycles");
+        const long bc = static_cast<long>(body.at("base_cycles").as_number());
+        // Every shard reports the whole-domain base schedule; any
+        // disagreement means the fleet is not running the same code or
+        // domain, and no merge of its numbers can be trusted.
+        if (!base_cycles) base_cycles = bc;
+        else if (*base_cycles != bc)
+          throw Error("workers disagree on base cycles (" +
+                      std::to_string(*base_cycles) + " vs " +
+                      std::to_string(bc) + ")");
+        for (std::size_t i = 0; i < est.size(); ++i)
+          estimated[shard.begin + i] =
+              integer_field(est, i, "estimated cycle count");
+      };
+      run_phase(links, state, "estimate");
+    }
+
+    // Local merge, in serial enumeration order, through the same
+    // make_candidate / pareto_filter the single-process path runs: every
+    // derived double and every reject/pareto decision is recomputed here,
+    // never parsed off the wire.
+    dse::ExplorationResult& result = resp.result;
+    result.base_cycles = base_cycles.value_or(0);
+    result.base_area = explorer.synthesis().area(base);
+    result.base_time_ns = static_cast<double>(result.base_cycles) *
+                          explorer.synthesis().clock_ns(base);
+    const double base_area_raw = explorer.base_area_raw();
+    result.candidates.reserve(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i)
+      result.candidates.push_back(explorer.make_candidate(
+          points[i], explorer.point_architecture(points[i], base),
+          estimated[i], base_area_raw, result.base_time_ns));
+    explorer.pareto_filter(result);
+
+    // Phase 2: one exact shard per Pareto survivor (single-point shards —
+    // exact evaluation dominates the run, so the finest granularity is
+    // the best steal unit).
+    std::vector<std::vector<long>> exact_cycles(points.size());
+    std::vector<std::vector<long>> exact_stalls(points.size());
+    {
+      PhaseState state;
+      state.request_template =
+          shard_request_template(resp.kernels, request.config, true);
+      for (std::size_t i = 0; i < result.candidates.size(); ++i)
+        if (result.candidates[i].pareto) state.queue.push_back({i, i + 1, 0});
+      state.apply = [&](const Shard& shard, const util::Json& body) {
+        const util::Json& cycles = body.at("cycles");
+        const util::Json& stalls = body.at("stalls");
+        if (!cycles.is_array() || cycles.size() != 1 ||
+            !stalls.is_array() || stalls.size() != 1 ||
+            !cycles.at(0).is_array() ||
+            cycles.at(0).size() != num_kernels ||
+            !stalls.at(0).is_array() ||
+            stalls.at(0).size() != num_kernels)
+          throw Error("worker returned a malformed exact shard");
+        std::vector<long>& c = exact_cycles[shard.begin];
+        std::vector<long>& s = exact_stalls[shard.begin];
+        c.resize(num_kernels);
+        s.resize(num_kernels);
+        for (std::size_t k = 0; k < num_kernels; ++k) {
+          c[k] = integer_field(cycles.at(0), k, "cycle count");
+          s[k] = integer_field(stalls.at(0), k, "stall count");
+        }
+      };
+      run_phase(links, state, "exact");
+    }
+
+    // Steps 5–6 reductions, in candidate order and domain order — the
+    // exact serial loop structure.
+    for (std::size_t i = 0; i < result.candidates.size(); ++i) {
+      dse::Candidate& cand = result.candidates[i];
+      if (!cand.pareto) continue;
+      dse::evaluate_exact(
+          cand, num_kernels,
+          [&](std::size_t k, const arch::Architecture&) {
+            return sched::PerfPoint{
+                static_cast<int>(exact_cycles[i][k]),
+                static_cast<int>(exact_stalls[i][k]), 0};
+          });
+      RSP_LOG(kInfo) << "pareto point " << cand.point.label() << ": area "
+                     << cand.area_synthesized << " slices, time "
+                     << cand.exact_time_ns << " ns";
+    }
+    explorer.select_optimum(result);
+  } catch (...) {
+    fold_stats(links);
+    for (WorkerLink& link : links)
+      if (link.fd >= 0) ::close(link.fd);
+    throw;
+  }
+  fold_stats(links);
+  for (WorkerLink& link : links)
+    if (link.fd >= 0) ::close(link.fd);
+  return resp;
+}
+
+util::Json DseCoordinator::stats_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  util::Json workers = util::Json::array();
+  for (std::size_t i = 0; i < addresses_.size(); ++i) {
+    const WorkerStats& stats = worker_stats_[i];
+    util::Json entry = util::Json::object();
+    entry.set("address", addresses_[i].spec())
+        .set("shards", static_cast<std::int64_t>(stats.shards))
+        .set("retries", static_cast<std::int64_t>(stats.retries))
+        .set("busy_ms", static_cast<std::int64_t>(stats.busy_ms))
+        .set("alive", stats.alive);
+    workers.push(std::move(entry));
+  }
+  util::Json doc = util::Json::object();
+  doc.set("workers", std::move(workers))
+      .set("runs", static_cast<std::int64_t>(runs_))
+      .set("shards", static_cast<std::int64_t>(shards_))
+      .set("redispatched", static_cast<std::int64_t>(redispatched_))
+      .set("workers_lost", static_cast<std::int64_t>(workers_lost_));
+  return doc;
+}
+
+}  // namespace rsp::dist

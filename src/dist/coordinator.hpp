@@ -1,0 +1,131 @@
+// Distributed DSE: coordinator/worker sharding of the exploration grid
+// over the v2 socket protocol (docs/DISTRIBUTED.md).
+//
+// The DseCoordinator answers an api::DseRequest exactly like
+// Service::dse, but farms the expensive per-point work out to N
+// `rsp_cli worker` processes over the existing socket transport:
+//
+//   phase 1 — the enumeration grid [0, points) is cut into many small
+//     shards (`shard_points` each) and pulled by workers over `dse_shard`
+//     estimate requests; the coordinator rebuilds every Candidate locally
+//     from the returned integer cycle sums via dse::Explorer::
+//     make_candidate and runs the Pareto filter itself;
+//   phase 2 — one exact `dse_shard` per Pareto survivor; the returned
+//     per-kernel cycle/stall integers feed dse::evaluate_exact and
+//     select_optimum locally.
+//
+// Because only integers cross the wire and every derived double, reject
+// check, Pareto decision and reduction is recomputed by the same
+// dse::Explorer code the single-process path runs — in serial enumeration
+// order, after all shards join — the merged ExplorationResult is
+// bit-identical to Service::dse by construction, regardless of worker
+// count, shard size, completion order, retries or worker death.
+//
+// Failure model (robust fleet behaviour, not a happy-path loop):
+//   * connections are opened per run with bounded connect retries and a
+//     `worker_info` handshake; per-request SO_RCVTIMEO/SO_SNDTIMEO
+//     timeouts bound every round trip;
+//   * a transport failure (reset, EOF, timeout, malformed or mismatched
+//     response) kills that worker for the rest of the run and re-queues
+//     the shard for the survivors, with linear redispatch backoff and a
+//     bounded attempt count;
+//   * an in-band {"ok": false} rejection is fatal — shard requests are
+//     deterministic, so another worker would reject them identically;
+//   * losing the last worker with shards pending aborts the run with a
+//     clear error.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/service.hpp"
+#include "api/socket_server.hpp"
+#include "util/json.hpp"
+
+namespace rsp::dist {
+
+struct CoordinatorOptions {
+  /// Points per phase-1 shard. Small shards are the work-stealing knob:
+  /// workers pull the next shard when ready, so a slow worker holds at
+  /// most one shard's worth of the grid, never a static 1/N slice.
+  int shard_points = 8;
+  /// Per-request send/receive timeout; a worker that stalls longer is
+  /// treated as dead and its shard re-dispatched.
+  int request_timeout_ms = 30000;
+  /// A shard that has failed transport this many times aborts the run —
+  /// it bounds the damage of a shard that kills every worker it visits.
+  int max_shard_attempts = 3;
+  /// Sleep `redispatch_backoff_ms × attempts` before re-sending a
+  /// previously failed shard.
+  int redispatch_backoff_ms = 10;
+  /// Connect policy for the per-run worker connections. Retries are on by
+  /// default here (unlike `rsp_cli connect`): coordinators routinely race
+  /// freshly spawned workers to the bind.
+  api::ConnectOptions connect{40, 25};
+};
+
+class DseCoordinator {
+ public:
+  /// `workers` are the `--listen` specs of running `rsp_cli worker` (or
+  /// `serve --listen`) processes. Throws InvalidArgumentError when empty.
+  explicit DseCoordinator(std::vector<api::ListenAddress> workers,
+                          CoordinatorOptions options = {});
+  ~DseCoordinator();
+
+  DseCoordinator(const DseCoordinator&) = delete;
+  DseCoordinator& operator=(const DseCoordinator&) = delete;
+
+  /// The distributed Fig. 7 flow; bit-identical to api::Service::dse on
+  /// the same request. Thread-safe (concurrent calls serialize); throws
+  /// rsp::Error when the run cannot complete (all workers lost, a shard
+  /// out of attempts, a worker rejecting a shard, disagreeing base
+  /// cycles).
+  api::DseResponse dse(const api::DseRequest& request);
+
+  /// The "dist" section folded into cache_stats (Service::
+  /// set_dist_extension): {"workers": [{"address", "shards", "retries",
+  /// "busy_ms", "alive"}...], "runs", "shards", "redispatched",
+  /// "workers_lost"}. Counters aggregate across runs.
+  util::Json stats_json() const;
+
+  const std::vector<api::ListenAddress>& workers() const {
+    return addresses_;
+  }
+
+ private:
+  struct WorkerLink;   // one per-run connection (dist/coordinator.cpp)
+  struct Shard;        // one [begin, end) work item
+  struct PhaseState;   // the pull queue one phase's workers drain
+
+  std::vector<WorkerLink> connect_workers();
+  void run_phase(std::vector<WorkerLink>& links, PhaseState& state,
+                 const char* phase);
+  void worker_loop(WorkerLink& link, PhaseState& state);
+  bool round_trip(WorkerLink& link, util::Json request,
+                  util::Json& response);
+  void fold_stats(const std::vector<WorkerLink>& links);
+
+  const std::vector<api::ListenAddress> addresses_;
+  const CoordinatorOptions options_;
+
+  /// Serializes runs: one grid-wide pull queue at a time keeps the
+  /// failure/redispatch accounting legible.
+  std::mutex run_mu_;
+
+  /// Cross-run aggregates for stats_json(), guarded by mu_.
+  struct WorkerStats {
+    long shards = 0;    ///< shards completed, all runs
+    long retries = 0;   ///< transport failures charged to this worker
+    long busy_ms = 0;   ///< summed round-trip latency
+    bool alive = true;  ///< survived the most recent run it served
+  };
+  mutable std::mutex mu_;
+  std::vector<WorkerStats> worker_stats_;
+  long runs_ = 0;
+  long shards_ = 0;
+  long redispatched_ = 0;
+  long workers_lost_ = 0;
+};
+
+}  // namespace rsp::dist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "dse/pareto.hpp"
 #include "sched/legality.hpp"
@@ -99,27 +100,40 @@ std::vector<DesignPoint> Explorer::enumerate_points() const {
   return points;
 }
 
+arch::Architecture Explorer::point_architecture(
+    const DesignPoint& point, const arch::Architecture& base) const {
+  if (point.is_base()) return base;
+  return arch::custom_architecture("RSP(" + point.label() + ")", array_.rows,
+                                   array_.cols, point.units_per_row,
+                                   point.units_per_col, point.stages);
+}
+
 Candidate Explorer::estimate_candidate(const DesignPoint& point,
                                        const arch::Architecture& base,
                                        std::size_t kernel_count,
                                        const EstimateFn& estimate,
                                        double base_area_raw,
                                        double base_time_ns) const {
+  arch::Architecture target = point_architecture(point, base);
+  long estimated_cycles = 0;
+  for (std::size_t k = 0; k < kernel_count; ++k)
+    estimated_cycles += estimate(k, target).estimated_cycles();
+  return make_candidate(point, std::move(target), estimated_cycles,
+                        base_area_raw, base_time_ns);
+}
+
+Candidate Explorer::make_candidate(const DesignPoint& point,
+                                   arch::Architecture architecture,
+                                   long estimated_cycles,
+                                   double base_area_raw,
+                                   double base_time_ns) const {
   Candidate cand;
   cand.point = point;
-  cand.architecture =
-      point.is_base()
-          ? base
-          : arch::custom_architecture("RSP(" + point.label() + ")",
-                                     array_.rows, array_.cols,
-                                     point.units_per_row,
-                                     point.units_per_col, point.stages);
+  cand.architecture = std::move(architecture);
   cand.area_estimate = synth_.area_model().estimate(cand.architecture);
   cand.area_synthesized = synth_.area(cand.architecture);
   cand.clock_ns = synth_.clock_ns(cand.architecture);
-
-  for (std::size_t k = 0; k < kernel_count; ++k)
-    cand.estimated_cycles += estimate(k, cand.architecture).estimated_cycles();
+  cand.estimated_cycles = estimated_cycles;
   cand.estimated_time_ns =
       static_cast<double>(cand.estimated_cycles) * cand.clock_ns;
 

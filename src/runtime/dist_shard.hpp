@@ -1,0 +1,65 @@
+// Worker-side executors for the distributed DSE shard protocol (v2 op
+// `dse_shard`, docs/DISTRIBUTED.md).
+//
+// A shard is an explicit sub-range [begin, end) of the serial enumeration
+// order (dse::Explorer::enumerate_points). Workers return **integers
+// only** — estimated-cycle sums for estimate shards, per-kernel exact
+// cycle/stall counts for exact shards — because integers survive the JSON
+// wire bit-for-bit while doubles need not. The coordinator
+// (dist::DseCoordinator) recomputes every derived double locally through
+// the same dse::Explorer the single-process path uses, which is what makes
+// the merged result bit-identical to `rsp_cli dse` by construction.
+//
+// Both executors run the exact serial loop bodies (point_architecture +
+// the shared estimate/measure hooks) on the shard's slice, memoized
+// through the same caches as the single-process flow, so a warm worker
+// cache can never change a result — only skip recomputing it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "kernels/workload.hpp"
+#include "runtime/eval_cache.hpp"
+#include "runtime/mapping_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace rsp::runtime {
+
+/// Estimate products for enumeration indices [begin, end): the summed
+/// base-schedule length over the domain (identical for every shard of one
+/// run — the coordinator cross-checks it) and, per point in shard order,
+/// the estimated-cycle sum over the domain in domain order.
+struct EstimateShard {
+  long base_cycles = 0;
+  std::vector<long> estimated_cycles;  ///< one per point, shard order
+};
+
+/// Steps 1–3 of the Fig. 7 flow restricted to points [begin, end): per-
+/// kernel mapping (memoized through `mapping_cache` when non-null), then
+/// the fast estimate of every (point, kernel) pair fanned out over `pool`.
+/// Throws InvalidArgumentError on an empty or out-of-range shard.
+EstimateShard estimate_shard(const dse::Explorer& explorer,
+                             const std::vector<kernels::Workload>& domain,
+                             std::size_t begin, std::size_t end,
+                             ThreadPool& pool, MappingCache* mapping_cache);
+
+/// Exact products for enumeration indices [begin, end): per point in shard
+/// order, the per-kernel exact cycle and stall counts in domain order.
+struct ExactShard {
+  std::vector<std::vector<long>> cycles;  ///< [point - begin][kernel]
+  std::vector<std::vector<long>> stalls;  ///< same shape
+};
+
+/// Step 5 restricted to points [begin, end): per-kernel mapping (memoized),
+/// then one exact rescheduling task per (point, kernel) pair over `pool`,
+/// memoized through `eval_cache` under the same keys as the single-process
+/// step-5 fan-out. Throws InvalidArgumentError on an empty or out-of-range
+/// shard.
+ExactShard exact_shard(const dse::Explorer& explorer,
+                       const std::vector<kernels::Workload>& domain,
+                       std::size_t begin, std::size_t end, ThreadPool& pool,
+                       MappingCache* mapping_cache, EvalCache* eval_cache);
+
+}  // namespace rsp::runtime

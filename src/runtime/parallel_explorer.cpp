@@ -82,9 +82,11 @@ EvalRecord measure_record(const sched::ContextScheduler& scheduler,
   return r;
 }
 
-// The memoization protocol, shared by the DSE and suite-eval fan-outs so
-// the two paths cannot drift: consult the cache under `key` when one is
-// configured, measure otherwise.
+}  // namespace
+
+// The memoization protocol, shared by the DSE, suite-eval and distributed
+// shard fan-outs so the paths cannot drift: consult the cache under `key`
+// when one is configured, measure otherwise.
 EvalRecord cached_measure(EvalCache* cache, const std::string& key,
                           const sched::ContextScheduler& scheduler,
                           const sched::PlacedProgram& program,
@@ -94,9 +96,7 @@ EvalRecord cached_measure(EvalCache* cache, const std::string& key,
       key, [&] { return measure_record(scheduler, program, architecture); });
 }
 
-}  // namespace
-
-dse::PreparedExploration prepare_parallel(
+PreparedKernels prepare_kernels_parallel(
     const dse::Explorer& explorer,
     const std::vector<kernels::Workload>& domain, ThreadPool& pool,
     MappingCache* mapping_cache) {
@@ -107,33 +107,46 @@ dse::PreparedExploration prepare_parallel(
       throw InvalidArgumentError("workload '" + w.name +
                                  "' targets a different array geometry");
 
-  const arch::Architecture base = explorer.base_architecture();
-
-  // Step 1: one task per kernel, memoized. Records land in fixed slots and
-  // futures are joined in domain order, so both the reduction and the
+  // One task per kernel, memoized. Records land in fixed slots and futures
+  // are joined in domain order, so both the reduction and the
   // first-error-wins semantics match the serial loop. Mapping keys are
   // O(kernel) to hash — computed once per kernel and reused by the
-  // estimate lookups below.
-  std::vector<std::string> mapping_keys(domain.size());
+  // estimate lookups the callers run next.
+  PreparedKernels prep;
+  prep.mapping_keys.resize(domain.size());
   if (mapping_cache != nullptr)
     for (std::size_t k = 0; k < domain.size(); ++k)
-      mapping_keys[k] = MappingCache::key(domain[k]);
-  std::vector<std::shared_ptr<const dse::KernelPrep>> records(domain.size());
-  {
-    std::vector<std::future<void>> futures;
-    futures.reserve(domain.size());
-    submit_then_join(futures, [&] {
-      for (std::size_t k = 0; k < domain.size(); ++k) {
-        futures.push_back(pool.submit([&, k] {
-          const kernels::Workload& w = domain[k];
-          records[k] = mapping_cache != nullptr
-                           ? mapping_cache->get_or_map(mapping_keys[k], w)
-                           : std::make_shared<const dse::KernelPrep>(
-                                 dse::prepare_kernel(w));
-        }));
-      }
-    });
-  }
+      prep.mapping_keys[k] = MappingCache::key(domain[k]);
+  prep.records.resize(domain.size());
+  std::vector<std::future<void>> futures;
+  futures.reserve(domain.size());
+  submit_then_join(futures, [&] {
+    for (std::size_t k = 0; k < domain.size(); ++k) {
+      futures.push_back(pool.submit([&, k] {
+        const kernels::Workload& w = domain[k];
+        prep.records[k] =
+            mapping_cache != nullptr
+                ? mapping_cache->get_or_map(prep.mapping_keys[k], w)
+                : std::make_shared<const dse::KernelPrep>(
+                      dse::prepare_kernel(w));
+      }));
+    }
+  });
+  return prep;
+}
+
+dse::PreparedExploration prepare_parallel(
+    const dse::Explorer& explorer,
+    const std::vector<kernels::Workload>& domain, ThreadPool& pool,
+    MappingCache* mapping_cache) {
+  const arch::Architecture base = explorer.base_architecture();
+
+  // Step 1 (see prepare_kernels_parallel).
+  PreparedKernels kernels =
+      prepare_kernels_parallel(explorer, domain, pool, mapping_cache);
+  std::vector<std::string>& mapping_keys = kernels.mapping_keys;
+  std::vector<std::shared_ptr<const dse::KernelPrep>>& records =
+      kernels.records;
 
   dse::PreparedExploration prep;
   dse::ExplorationResult& result = prep.result;

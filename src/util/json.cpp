@@ -62,6 +62,10 @@ const std::string& Json::as_string() const {
 }
 
 int Json::as_int(const std::string& what) const {
+  // Name the offending field on a mistyped value too — the bare
+  // as_number() message would not say which field was wrong.
+  if (kind_ != Kind::kNumber)
+    throw InvalidArgumentError(what + " must be an integer");
   const double value = as_number();
   if (!(value >= -2147483648.0 && value <= 2147483647.0) ||
       value != static_cast<double>(static_cast<int>(value)))

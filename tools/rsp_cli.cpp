@@ -9,6 +9,7 @@
 // out-of-order completion by id.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -19,6 +20,7 @@
 #include "api/service.hpp"
 #include "api/socket_server.hpp"
 #include "core/report_json.hpp"
+#include "dist/coordinator.hpp"
 #include "sim/machine.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -40,6 +42,24 @@ int positive_int_flag(const std::string& flag, const std::string& value) {
   if (parsed_value < 1)
     throw InvalidArgumentError(flag + " requires a positive count");
   return parsed_value;
+}
+
+// Parses a "--workers addr1,addr2,..." operand into listen addresses.
+std::vector<api::ListenAddress> parse_worker_list(const std::string& value) {
+  std::vector<api::ListenAddress> workers;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    const std::string spec = value.substr(start, end - start);
+    if (spec.empty())
+      throw InvalidArgumentError(
+          "--workers requires a comma-separated list of addresses");
+    workers.push_back(api::parse_listen_address(spec));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return workers;
 }
 
 int cmd_list(const api::Service& service) {
@@ -93,22 +113,43 @@ int cmd_simulate(const api::Service& service, const std::string& kernel,
 
 // `explore` and its alias `dse` run the full Fig. 7 flow over the paper
 // domain; --threads sizes the evaluation pool the prepare and exact-eval
-// stages fan out on.
+// stages fan out on, while --workers farms the grid out to remote serve
+// processes instead (dist::DseCoordinator) — same output, byte for byte.
 int cmd_explore(const std::vector<std::string>& args) {
   api::ServiceOptions options;
   options.max_inflight = 1;
+  bool saw_threads = false;
+  std::vector<api::ListenAddress> workers;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads") {
       if (i + 1 >= args.size())
         throw InvalidArgumentError("--threads requires a worker count");
       options.threads = positive_int_flag("--threads", args[++i]);
+      saw_threads = true;
+    } else if (args[i] == "--workers") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError(
+            "--workers requires a comma-separated list of addresses");
+      workers = parse_worker_list(args[++i]);
     } else {
       throw InvalidArgumentError("unknown flag '" + args[i] + "' for " +
-                                 args[0] + " (--threads N)");
+                                 args[0] +
+                                 " (--threads N, --workers a,b,...)");
     }
   }
-  const api::Service service(options);
-  const api::DseResponse resp = service.dse({});
+  if (saw_threads && !workers.empty())
+    throw InvalidArgumentError(
+        "--threads and --workers are exclusive: the pool runs locally, the "
+        "workers run the grid remotely");
+
+  api::DseResponse resp;
+  if (workers.empty()) {
+    const api::Service service(options);
+    resp = service.dse({});
+  } else {
+    dist::DseCoordinator coordinator(std::move(workers));
+    resp = coordinator.dse({});
+  }
   const dse::Candidate& best = resp.result.best();
   std::cout << "explored " << resp.result.candidates.size()
             << " designs; selected " << best.point.label() << " (area "
@@ -164,9 +205,15 @@ int cmd_serve(const std::vector<std::string>& args) {
   api::ServiceOptions options;
   api::SocketServerOptions server_options;
   std::vector<api::ListenAddress> listen;
+  std::vector<api::ListenAddress> workers;
   bool saw_max_connections = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
-    if (args[i] == "--threads") {
+    if (args[i] == "--workers") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError(
+            "--workers requires a comma-separated list of addresses");
+      workers = parse_worker_list(args[++i]);
+    } else if (args[i] == "--threads") {
       if (i + 1 >= args.size())
         throw InvalidArgumentError("--threads requires a worker count");
       options.threads = positive_int_flag("--threads", args[++i]);
@@ -195,7 +242,7 @@ int cmd_serve(const std::vector<std::string>& args) {
       throw InvalidArgumentError(
           "unknown flag '" + args[i] +
           "' for serve (--threads N, --max-inflight N, --cache-entries N, "
-          "--listen ADDR, --max-connections N)");
+          "--listen ADDR, --max-connections N, --workers a,b,...)");
     }
   }
 
@@ -205,6 +252,18 @@ int cmd_serve(const std::vector<std::string>& args) {
         "pipe serves exactly one client)");
 
   api::Service service(options);
+  // `--workers` turns this server into a distributed DSE front-end: dse
+  // requests fan out to the worker fleet, everything else stays local,
+  // and cache_stats grows a "dist" section with the fleet counters.
+  std::unique_ptr<dist::DseCoordinator> coordinator;
+  if (!workers.empty()) {
+    coordinator = std::make_unique<dist::DseCoordinator>(std::move(workers));
+    service.set_dse_delegate([&coordinator](const api::DseRequest& request) {
+      return coordinator->dse(request);
+    });
+    service.set_dist_extension(
+        [&coordinator] { return coordinator->stats_json(); });
+  }
   if (listen.empty()) {
     // Pipe transport: one client over stdin/stdout.
     const api::ServeResult result = api::serve(service, std::cin, std::cout);
@@ -218,12 +277,17 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
 
   // Socket transport: all connections share this one service (pools +
-  // caches); stdout stays untouched, logs go to stderr.
+  // caches); logs go to stderr. Stdout carries exactly one machine-
+  // parseable "READY <resolved-addr>" line per listener (ephemeral ports
+  // resolved) so scripts and coordinators can wait for the bind without
+  // connect-polling.
   api::SocketServer server(service, listen, server_options);
   service.set_stats_extension([&server] { return server.stats_json(); });
   server.install_signal_handlers();
-  for (const api::ListenAddress& address : server.addresses())
+  for (const api::ListenAddress& address : server.addresses()) {
     std::cerr << "listening on " << address.spec() << "\n";
+    std::cout << "READY " << address.spec() << "\n" << std::flush;
+  }
   server.run();
   const api::SocketServerStats stats = server.stats();
   std::cerr << "shutdown complete: " << stats.accepted << " connection(s), "
@@ -234,12 +298,44 @@ int cmd_serve(const std::vector<std::string>& args) {
 
 // Client side of `serve --listen`: pipes stdin lines to the socket and
 // response lines to stdout, exiting when the server finishes the stream.
+// `--retry N` waits through up to N refused attempts (backoff between
+// tries) — off by default so a typo'd address still fails fast.
 int cmd_connect(const std::vector<std::string>& args) {
-  if (args.size() != 2)
+  std::string address;
+  api::ConnectOptions connect;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--retry") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--retry requires an attempt count");
+      connect.attempts = positive_int_flag("--retry", args[++i]);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      throw InvalidArgumentError("unknown flag '" + args[i] +
+                                 "' for connect (--retry N)");
+    } else if (address.empty()) {
+      address = args[i];
+    } else {
+      throw InvalidArgumentError(
+          "connect takes exactly one address (<path> or <host:port>)");
+    }
+  }
+  if (address.empty())
     throw InvalidArgumentError(
         "connect takes exactly one address (<path> or <host:port>)");
-  return api::run_socket_client(api::parse_listen_address(args[1]), std::cin,
-                                std::cout);
+  return api::run_socket_client(api::parse_listen_address(address), std::cin,
+                                std::cout, connect);
+}
+
+// `worker` is the fleet-facing spelling of `serve --listen`: the address
+// is positional (a worker always listens somewhere) and every remaining
+// serve flag passes through unchanged.
+int cmd_worker(const std::vector<std::string>& args) {
+  if (args.size() < 2 || (!args[1].empty() && args[1][0] == '-'))
+    throw InvalidArgumentError(
+        "worker requires an address first (<path> or <host:port>), then "
+        "serve flags");
+  std::vector<std::string> serve_args = {"serve", "--listen", args[1]};
+  serve_args.insert(serve_args.end(), args.begin() + 2, args.end());
+  return cmd_serve(serve_args);
 }
 
 int cmd_rtl(const api::Service& service, const std::string& arch) {
@@ -281,19 +377,29 @@ int usage() {
          "  simulate <kernel> <arch> [--engine dense|event]\n"
          "                                    run on the cycle simulator, "
          "verify\n"
-         "  explore|dse [--threads N]         DSE over the full kernel "
-         "domain\n"
+         "  explore|dse [--threads N | --workers a,b,...]\n"
+         "                                    DSE over the full kernel "
+         "domain, locally\n"
+         "                                    or sharded across serve "
+         "workers\n"
          "  batch <requests.json> [--threads N] [--cache-entries N] "
          "[--pretty]\n"
          "                                    run a v1 batch document over "
          "the service\n"
          "  serve [--threads N] [--max-inflight N] [--cache-entries N]\n"
          "        [--listen <path|host:port>]... [--max-connections N]\n"
+         "        [--workers a,b,...]\n"
          "                                    stream v2 NDJSON requests "
          "stdin->stdout,\n"
          "                                    or serve concurrent socket "
-         "clients\n"
-         "  connect <path|host:port>          pipe stdin/stdout to a serve "
+         "clients;\n"
+         "                                    --workers delegates dse to a "
+         "fleet\n"
+         "  worker <path|host:port> [serve flags]\n"
+         "                                    run a DSE worker (= serve "
+         "--listen ADDR)\n"
+         "  connect <path|host:port> [--retry N]\n"
+         "                                    pipe stdin/stdout to a serve "
          "--listen socket\n"
          "  rtl <arch>                        emit structural Verilog to "
          "stdout\n"
@@ -317,6 +423,7 @@ int main(int argc, char** argv) {
     // silently ignored, so scripts can trust the exit code.
     if (cmd == "batch") return cmd_batch(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "worker") return cmd_worker(args);
     if (cmd == "connect") return cmd_connect(args);
     if (cmd == "explore" || cmd == "dse") return cmd_explore(args);
 
