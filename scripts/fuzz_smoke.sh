@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Differential-fuzz smoke: replays the regression corpus against the full
+# architecture suite, runs a fixed-base batch of random trials (reproducible
+# run to run), then one batch from a time-derived base seed to widen
+# coverage build over build. Any failing seed is written to the save
+# directory (one seed_<seed>.txt each) and reproduces standalone via
+# `rsp_cli fuzz --trials 1 --seed <seed>`.
+#
+#   scripts/fuzz_smoke.sh <rsp_cli binary> <corpus dir> [save dir] [trials]
+set -eu
+
+cli=$1
+corpus=$2
+save_dir=${3:-build/fuzz-failures}
+trials=${4:-250}
+
+"$cli" fuzz --trials "$trials" --seed 1 --corpus "$corpus" \
+  --save-failures "$save_dir"
+
+tseed=$(date +%s)
+echo "fuzz_smoke: time-derived base seed: $tseed"
+"$cli" fuzz --trials "$trials" --seed "$tseed" --save-failures "$save_dir"
+
+echo "fuzz_smoke: OK (corpus + $trials fixed-base + $trials time-derived trials)"

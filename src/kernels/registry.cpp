@@ -1,5 +1,9 @@
 #include "kernels/registry.hpp"
 
+#include <map>
+#include <mutex>
+
+#include "gen/generator.hpp"
 #include "kernels/dsp.hpp"
 #include "kernels/h264.hpp"
 #include "kernels/livermore.hpp"
@@ -7,6 +11,38 @@
 #include "util/error.hpp"
 
 namespace rsp::kernels {
+
+namespace {
+
+std::string name_list(const std::vector<Workload>& workloads) {
+  std::string names;
+  for (const Workload& w : workloads) {
+    if (!names.empty()) names += ", ";
+    names += w.name;
+  }
+  return names;
+}
+
+// Materialised `gen:<seed>` workloads. The cache guarantees the const-ref
+// find_in_catalogue overload hands out stable references (std::map nodes
+// never move) under concurrent Service dispatch. Always built with the
+// default GeneratorConfig: runtime::MappingCache keys on kernel name +
+// content hash but cannot see IndexFn closures, so one gen name must always
+// denote one workload.
+const Workload& generated_workload(std::uint64_t seed) {
+  static std::mutex mutex;
+  static std::map<std::uint64_t, Workload> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    gen::GeneratorConfig config;
+    config.seed = seed;
+    it = cache.emplace(seed, gen::generate_workload(config)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
 
 std::vector<Workload> livermore_suite() {
   std::vector<Workload> out;
@@ -42,9 +78,12 @@ std::vector<Workload> full_catalogue() {
 }
 
 Workload find_workload(const std::string& name) {
-  for (Workload& w : paper_suite())
+  std::vector<Workload> suite = paper_suite();
+  for (Workload& w : suite)
     if (w.name == name) return w;
-  throw NotFoundError("unknown workload '" + name + "'");
+  throw NotFoundError("unknown workload '" + name + "'; the paper suite is " +
+                      name_list(suite) +
+                      " (generated kernels are addressed as gen:<seed>)");
 }
 
 Workload find_in_catalogue(const std::string& name) {
@@ -55,8 +94,11 @@ const Workload& find_in_catalogue(const std::vector<Workload>& catalogue,
                                   const std::string& name) {
   for (const Workload& w : catalogue)
     if (w.name == name) return w;
-  throw NotFoundError("unknown kernel '" + name +
-                      "' (run `rsp_cli list` for the catalogue)");
+  if (const std::optional<std::uint64_t> seed = gen::parse_gen_name(name))
+    return generated_workload(*seed);
+  throw NotFoundError("unknown kernel '" + name + "'; available: " +
+                      name_list(catalogue) +
+                      ", or gen:<seed> for a generated kernel");
 }
 
 }  // namespace rsp::kernels

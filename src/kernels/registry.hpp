@@ -20,15 +20,21 @@ std::vector<Workload> paper_suite();
 /// the 4×4 matmul demo — the catalogue rsp_cli and the batch API serve.
 std::vector<Workload> full_catalogue();
 
-/// Lookup by canonical name ("Hydro", "2D-FDCT", ...). Throws NotFoundError.
+/// Lookup by canonical name ("Hydro", "2D-FDCT", ...). Throws NotFoundError
+/// listing the paper-suite names.
 Workload find_workload(const std::string& name);
 
-/// Lookup across `full_catalogue()`. Throws NotFoundError.
+/// Lookup across `full_catalogue()` plus the generated family: any
+/// `gen:<seed>` name materialises src/gen's seeded random kernel on demand
+/// (always with the default GeneratorConfig, so a name pins one workload).
+/// Throws NotFoundError listing the available names.
 Workload find_in_catalogue(const std::string& name);
 
 /// Lookup in an already-built catalogue — callers resolving many names
-/// build `full_catalogue()` once instead of per lookup. Throws
-/// NotFoundError.
+/// build `full_catalogue()` once instead of per lookup. `gen:<seed>` names
+/// resolve through a process-wide cache of materialised workloads (stable
+/// references, thread-safe). Throws NotFoundError listing the available
+/// names.
 const Workload& find_in_catalogue(const std::vector<Workload>& catalogue,
                                   const std::string& name);
 

@@ -1,5 +1,6 @@
 #include "kernels/workload.hpp"
 
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace rsp::kernels {
@@ -8,6 +9,10 @@ std::vector<std::int64_t> deterministic_data(const std::string& tag,
                                              std::size_t length,
                                              std::int64_t lo,
                                              std::int64_t hi) {
+  if (lo > hi)
+    throw InvalidArgumentError("deterministic_data('" + tag +
+                               "'): empty range [" + std::to_string(lo) +
+                               ", " + std::to_string(hi) + "]");
   // Stable seed from the tag (FNV-1a) and length.
   std::uint64_t seed = 1469598103934665603ull;
   for (char c : tag) {

@@ -8,7 +8,13 @@
 //   * `setup`     — allocates and deterministically initialises memory;
 //   * `golden`    — an independent C++ reference computing the expected
 //                   final memory (NOT via the IR interpreter, so kernel
-//                   construction bugs cannot cancel out).
+//                   construction bugs cannot cancel out). The one exception
+//                   is the generated `gen:<seed>` family (src/gen), whose
+//                   golden is interpreter-derived by design — the generator
+//                   emits arbitrary graphs no hand-written model could
+//                   anticipate, and the interpreter is the semantic
+//                   authority the simulators are differentially fuzzed
+//                   against (docs/GENERATOR.md).
 #pragma once
 
 #include <functional>
@@ -32,6 +38,7 @@ struct Workload {
 };
 
 /// Deterministic input vector in [lo, hi], seeded by (tag, length).
+/// Throws InvalidArgumentError when lo > hi.
 std::vector<std::int64_t> deterministic_data(const std::string& tag,
                                              std::size_t length,
                                              std::int64_t lo, std::int64_t hi);

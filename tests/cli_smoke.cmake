@@ -1,10 +1,11 @@
 # Smoke-test driver for rsp_cli, run via ctest as
 #   cmake -DCLI=<binary> [-DARGS="space separated args"] -DEXPECT_RC=<code>
 #         [-DEXPECT_STDOUT=1] [-DEXPECT_STDERR=1] [-DSTDIN_FILE=<path>]
-#         [-DEXPECT_STDERR_MATCH=<regex>] -P cli_smoke.cmake
+#         [-DEXPECT_STDOUT_MATCH=<regex>] [-DEXPECT_STDERR_MATCH=<regex>]
+#         -P cli_smoke.cmake
 # Fails (non-zero exit) when the exit code differs from EXPECT_RC, when a
-# stream expected to carry output is empty, or when stderr does not match
-# EXPECT_STDERR_MATCH. STDIN_FILE feeds the command's stdin (serve mode).
+# stream expected to carry output is empty, or when a stream does not match
+# its EXPECT_*_MATCH regex. STDIN_FILE feeds the command's stdin (serve mode).
 if(NOT DEFINED CLI OR NOT DEFINED EXPECT_RC)
   message(FATAL_ERROR "cli_smoke.cmake requires -DCLI=... and -DEXPECT_RC=...")
 endif()
@@ -36,6 +37,11 @@ if(EXPECT_STDOUT AND out STREQUAL "")
 endif()
 if(EXPECT_STDERR AND err STREQUAL "")
   message(FATAL_ERROR "rsp_cli ${pretty_args}: expected non-empty stderr")
+endif()
+if(DEFINED EXPECT_STDOUT_MATCH AND NOT out MATCHES "${EXPECT_STDOUT_MATCH}")
+  message(FATAL_ERROR
+    "rsp_cli ${pretty_args}: stdout does not match '${EXPECT_STDOUT_MATCH}'\n"
+    "stdout:\n${out}")
 endif()
 if(DEFINED EXPECT_STDERR_MATCH AND NOT err MATCHES "${EXPECT_STDERR_MATCH}")
   message(FATAL_ERROR

@@ -87,6 +87,20 @@ TEST(Registry, DeterministicDataIsStable) {
   }
 }
 
+TEST(Registry, DeterministicDataBoundsEdgeCases) {
+  // Degenerate single-value range: every element is the bound itself.
+  const auto pinned = deterministic_data("tag", 8, 7, 7);
+  for (auto v : pinned) EXPECT_EQ(v, 7);
+  // An inverted range is a contract violation, not undefined behavior.
+  EXPECT_THROW(deterministic_data("tag", 8, 5, -5), InvalidArgumentError);
+  try {
+    deterministic_data("tag", 8, 1, 0);
+    FAIL() << "expected InvalidArgumentError";
+  } catch (const InvalidArgumentError& e) {
+    EXPECT_NE(std::string(e.what()).find("empty range"), std::string::npos);
+  }
+}
+
 // ------------------------------------- interpreter vs golden (every kernel)
 class KernelGolden : public ::testing::TestWithParam<std::string> {};
 

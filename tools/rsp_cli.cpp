@@ -7,9 +7,11 @@
 // (docs/PROTOCOL.md): `batch` executes one v1 document, `serve` is the
 // long-running mode streaming v2 NDJSON requests from stdin to stdout with
 // out-of-order completion by id.
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -21,6 +23,9 @@
 #include "api/socket_server.hpp"
 #include "core/report_json.hpp"
 #include "dist/coordinator.hpp"
+#include "gen/fuzz.hpp"
+#include "gen/generator.hpp"
+#include "ir/dot.hpp"
 #include "sim/machine.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -42,6 +47,29 @@ int positive_int_flag(const std::string& flag, const std::string& value) {
   if (parsed_value < 1)
     throw InvalidArgumentError(flag + " requires a positive count");
   return parsed_value;
+}
+
+// Parses a non-negative integer flag value ("--trials 0" is allowed: a
+// corpus-only fuzz replay runs zero random trials).
+long nonnegative_int_flag(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t parsed = 0;
+    const long parsed_value = std::stol(value, &parsed);
+    if (parsed != value.size() || parsed_value < 0)
+      throw std::invalid_argument(value);
+    return parsed_value;
+  } catch (const std::exception&) {
+    throw InvalidArgumentError(flag + ": '" + value +
+                               "' is not a non-negative count");
+  }
+}
+
+// Parses a 64-bit generator seed ("--seed 42"); decimal digits only.
+std::uint64_t seed_flag(const std::string& flag, const std::string& value) {
+  const std::optional<std::uint64_t> seed = gen::parse_gen_name("gen:" + value);
+  if (!seed)
+    throw InvalidArgumentError(flag + ": '" + value + "' is not a seed");
+  return *seed;
 }
 
 // Parses a "--workers addr1,addr2,..." operand into listen addresses.
@@ -338,6 +366,140 @@ int cmd_worker(const std::vector<std::string>& args) {
   return cmd_serve(serve_args);
 }
 
+// `gen` materialises one seeded random kernel, prints its shape, and
+// self-checks it through the differential harness (the same checks `fuzz`
+// runs per trial), so a printed seed is known-good before it is shared.
+int cmd_gen(const std::vector<std::string>& args) {
+  std::optional<std::uint64_t> seed;
+  bool dump = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--seed") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--seed requires a value");
+      seed = seed_flag("--seed", args[++i]);
+    } else if (args[i] == "--dump") {
+      dump = true;
+    } else {
+      throw InvalidArgumentError("unknown flag '" + args[i] +
+                                 "' for gen (--seed N, --dump)");
+    }
+  }
+  if (!seed) throw InvalidArgumentError("gen requires --seed N");
+
+  gen::GeneratorConfig config;
+  config.seed = *seed;
+  const kernels::Workload w = gen::generate_workload(config);
+  std::cout << w.name << ": " << w.kernel.body().size() << " body ops ("
+            << w.kernel.op_set_string() << "), " << w.kernel.trip_count()
+            << " iterations, " << w.array.rows << "x" << w.array.cols
+            << " array\n"
+            << "hints: lanes " << w.hints.lanes << ", stagger "
+            << w.hints.stagger << ", columns " << w.hints.columns
+            << ", row-bands " << (w.hints.cycle_row_bands ? "on" : "off")
+            << "\n";
+  if (w.reduction.enabled())
+    std::cout << "reduction: all -> " << w.reduction.array << "["
+              << w.reduction.index0 << "]\n";
+  ir::Memory memory;
+  w.setup(memory);
+  std::cout << "arrays:";
+  for (const std::string& array : memory.names())
+    std::cout << " " << array << "[" << memory.size(array) << "]";
+  std::cout << "\n";
+
+  const gen::FuzzReport report = gen::fuzz_one(*seed);
+  if (!report.ok) {
+    std::cerr << "self-check FAILED: " << report.detail << "\n";
+    return 1;
+  }
+  std::cout << "self-check: OK (dense == event == interpreter)\n";
+  if (dump) std::cout << ir::to_dot(w.kernel);
+  return 0;
+}
+
+// `fuzz` is the differential harness: corpus replay (when --corpus is
+// given) plus N random trials with seeds S, S+1, ... — any divergence
+// prints the reproducing seed and exits nonzero. --save-failures writes one
+// seed file per failure (CI uploads that directory as an artifact).
+int cmd_fuzz(const std::vector<std::string>& args) {
+  std::optional<long> trials;
+  std::uint64_t base_seed = 1;
+  std::string corpus;
+  std::string save_dir;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    if (args[i] == "--trials") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--trials requires a count");
+      trials = nonnegative_int_flag("--trials", args[++i]);
+    } else if (args[i] == "--seed") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--seed requires a value");
+      base_seed = seed_flag("--seed", args[++i]);
+    } else if (args[i] == "--corpus") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--corpus requires a file or directory");
+      corpus = args[++i];
+    } else if (args[i] == "--save-failures") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError("--save-failures requires a directory");
+      save_dir = args[++i];
+    } else {
+      throw InvalidArgumentError(
+          "unknown flag '" + args[i] +
+          "' for fuzz (--trials N, --seed S, --corpus PATH, --save-failures "
+          "DIR)");
+    }
+  }
+  if (!trials)
+    throw InvalidArgumentError(
+        "fuzz requires --trials N (0 runs the corpus replay only)");
+
+  std::vector<gen::FuzzReport> failures;
+  std::size_t corpus_count = 0;
+  if (!corpus.empty()) {
+    const std::vector<std::uint64_t> seeds = gen::load_corpus(corpus);
+    corpus_count = seeds.size();
+    gen::FuzzOptions replay;
+    replay.full_suite = true;  // regression seeds are cheap; check everything
+    for (const std::uint64_t seed : seeds) {
+      const gen::FuzzReport report = gen::fuzz_one(seed, replay);
+      if (!report.ok) failures.push_back(report);
+    }
+  }
+
+  long done = 0;
+  const gen::FuzzSummary summary = gen::fuzz_many(
+      base_seed, *trials, {}, [&](const gen::FuzzReport&) {
+        if (++done % 100 == 0)
+          std::cerr << "fuzz: " << done << "/" << *trials << " trials\n";
+      });
+  failures.insert(failures.end(), summary.failures.begin(),
+                  summary.failures.end());
+  if (*trials > 0) {
+    const gen::FuzzReport smoke = gen::service_smoke(base_seed);
+    if (!smoke.ok) failures.push_back(smoke);
+  }
+
+  if (failures.empty()) {
+    std::cout << "fuzz: " << corpus_count << " corpus seed(s) + " << *trials
+              << " random trial(s) passed (base seed " << base_seed << ")\n";
+    return 0;
+  }
+  if (!save_dir.empty()) {
+    std::filesystem::create_directories(save_dir);
+    for (const gen::FuzzReport& f : failures) {
+      std::ofstream file(save_dir + "/seed_" + std::to_string(f.seed) +
+                         ".txt");
+      file << f.seed << "  # " << f.detail << "\n";
+    }
+  }
+  for (const gen::FuzzReport& f : failures)
+    std::cerr << "FAIL " << f.detail << "\n  reproduce: rsp_cli fuzz "
+              << "--trials 1 --seed " << f.seed << "\n";
+  std::cerr << "fuzz: " << failures.size() << " failure(s)\n";
+  return 1;
+}
+
 int cmd_rtl(const api::Service& service, const std::string& arch) {
   std::cout << service.rtl({arch}).verilog;
   return 0;
@@ -401,6 +563,18 @@ int usage() {
          "  connect <path|host:port> [--retry N]\n"
          "                                    pipe stdin/stdout to a serve "
          "--listen socket\n"
+         "  gen --seed N [--dump]             print (and self-check) the "
+         "seeded\n"
+         "                                    random kernel gen:N; --dump "
+         "adds DOT\n"
+         "  fuzz --trials N [--seed S] [--corpus PATH] [--save-failures "
+         "DIR]\n"
+         "                                    differential fuzz: dense == "
+         "event ==\n"
+         "                                    interpreter on generated "
+         "kernels;\n"
+         "                                    nonzero exit prints the "
+         "reproducing seed\n"
          "  rtl <arch>                        emit structural Verilog to "
          "stdout\n"
          "  dot <kernel>                      emit the body DFG in Graphviz "
@@ -426,6 +600,8 @@ int main(int argc, char** argv) {
     if (cmd == "worker") return cmd_worker(args);
     if (cmd == "connect") return cmd_connect(args);
     if (cmd == "explore" || cmd == "dse") return cmd_explore(args);
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "fuzz") return cmd_fuzz(args);
 
     // One service per invocation, always with a single dispatch thread —
     // the CLI runs exactly one request, so only eval/explore's inner
