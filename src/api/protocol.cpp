@@ -501,7 +501,8 @@ util::Json to_body(const WorkerInfoResponse& resp) {
       .set("max_inflight", resp.max_inflight)
       .set("kernels", static_cast<std::int64_t>(resp.kernels))
       .set("architectures", static_cast<std::int64_t>(resp.architectures))
-      .set("pid", static_cast<std::int64_t>(resp.pid));
+      .set("pid", static_cast<std::int64_t>(resp.pid))
+      .set("uptime_ms", static_cast<std::int64_t>(resp.uptime_ms));
   return body;
 }
 

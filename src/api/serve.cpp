@@ -8,6 +8,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -186,15 +187,71 @@ ServeResult serve(Service& service, std::istream& in, std::ostream& out,
     }
   };
 
+  // Scripted fault injection (chaos tests). Returns true when the fault
+  // consumed the request line: the loop must stop (drop/truncate close the
+  // connection) or skip dispatch (refuse answered in-band). Byte-level
+  // faults write under out_mutex so they interleave with real responses as
+  // whole lines, exactly like a misbehaving peer on the wire.
+  bool fault_closed = false;
+  const auto inject_fault = [&](const std::string& text) {
+    const util::FaultAction action = options.fault->on_message();
+    using Kind = util::FaultAction::Kind;
+    switch (action.kind) {
+      case Kind::kNone:
+        return false;
+      case Kind::kDelay:
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(action.delay_ms));
+        return false;
+      case Kind::kDrop:
+        // Vanish without answering: the peer sees its request swallowed
+        // and the connection closed.
+        fault_closed = true;
+        return true;
+      case Kind::kTruncate: {
+        // A partial response line (no newline), then close: the peer reads
+        // a malformed fragment terminated by EOF.
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        out << "{\"fault\":\"truncated" << std::flush;
+        fault_closed = true;
+        return true;
+      }
+      case Kind::kGarbage: {
+        // A non-JSON line ahead of the real response.
+        const std::lock_guard<std::mutex> lock(out_mutex);
+        out << "\x01\x02 fault-injected garbage \x03\n" << std::flush;
+        return false;
+      }
+      case Kind::kRefuse: {
+        // In-band rejection; echo the id when one can be extracted so the
+        // refusal pairs with the request like any real error response.
+        util::Json id;
+        try {
+          const util::Json doc = util::Json::parse(text);
+          if (doc.is_object() && doc.contains("id")) {
+            const util::Json& extracted = doc.at("id");
+            if (extracted.is_string() || extracted.is_number())
+              id = extracted;
+          }
+        } catch (const std::exception&) {
+        }
+        write_error(id, "fault injection: request refused in-band");
+        return true;
+      }
+    }
+    return false;
+  };
+
   // In-flight done-callbacks reference this frame's locals, so no
   // exception (bad_alloc in parse/push_back, a write failure) may unwind
   // it while tasks are still running: drain them first, then rethrow.
   std::string line;
   try {
-    while (!output_failed.load(std::memory_order_relaxed) &&
+    while (!output_failed.load(std::memory_order_relaxed) && !fault_closed &&
            std::getline(in, line)) {
       if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
       ++requests;
+      if (options.fault && inject_fault(line)) continue;
       serve_line(line);
     }
   } catch (...) {

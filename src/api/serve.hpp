@@ -24,8 +24,10 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 
 #include "api/service.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 namespace rsp::api {
@@ -40,6 +42,11 @@ struct ServeOptions {
   /// (every id retained for the stream's lifetime, the pre-socket
   /// behaviour).
   std::size_t seen_id_window = kDefaultSeenIdWindow;
+  /// Deterministic fault injection (`--fault-plan`, chaos tests only):
+  /// consulted once per request line, before dispatch. Shared across every
+  /// connection of a process so the plan's ordinals are process-wide —
+  /// a re-admitted worker connection does not replay its faults.
+  std::shared_ptr<util::FaultInjector> fault;
 };
 
 struct ServeResult {

@@ -157,6 +157,10 @@ WorkerInfoResponse Service::worker_info(const WorkerInfoRequest&) const {
   resp.kernels = catalogue_.size();
   resp.architectures = arch::standard_suite().size();
   resp.pid = static_cast<long>(::getpid());
+  resp.uptime_ms = static_cast<long>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
   return resp;
 }
 

@@ -20,6 +20,7 @@
 // pool's size (see runtime::ParallelExplorer).
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -155,6 +156,10 @@ struct WorkerInfoResponse {
   std::size_t kernels = 0;        ///< catalogue size
   std::size_t architectures = 0;  ///< standard-suite size
   long pid = 0;
+  /// Milliseconds since this Service was constructed. Together with `pid`
+  /// the coordinator's health probes distinguish a restarted worker (new
+  /// pid, small uptime) from one that merely dropped a connection.
+  long uptime_ms = 0;
 };
 
 /// Every operation the Service dispatches; api/protocol.hpp decodes wire
@@ -398,6 +403,9 @@ class Service {
   mutable runtime::StripedMemoCache<std::shared_ptr<const SimRun>> sim_runs_;
   /// Built once; read-only after construction (lookups are concurrent).
   std::vector<kernels::Workload> catalogue_;
+  /// Construction instant — worker_info's uptime_ms baseline.
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
   /// Set once before serving starts, read concurrently afterwards.
   std::function<util::Json()> stats_extension_;
   std::function<util::Json()> dist_extension_;

@@ -55,6 +55,30 @@ sockaddr_un make_unix_addr(const std::string& path) {
   return sun;
 }
 
+// EINTR-safe connect(). A signal during a blocking connect must not
+// surface as a spurious transport failure: POSIX says the connection
+// attempt *continues* asynchronously after EINTR, and re-issuing connect()
+// would only yield EALREADY — so wait for writability and read the real
+// outcome from SO_ERROR instead.
+int connect_eintr(int fd, const sockaddr* addr, socklen_t len) {
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0)
+      return -1;
+    errno = err;
+    return err == 0 ? 0 : -1;
+  }
+}
+
 }  // namespace
 
 // --------------------------------------------------------------- addresses
@@ -100,8 +124,8 @@ int try_connect(const ListenAddress& address, std::string& reason,
     const sockaddr_un sun = make_unix_addr(address.path);
     const int fd = checked(::socket(AF_UNIX, SOCK_STREAM, 0), "socket");
     set_cloexec(fd);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&sun), sizeof(sun)) !=
-        0) {
+    if (connect_eintr(fd, reinterpret_cast<const sockaddr*>(&sun),
+                      sizeof(sun)) != 0) {
       err = errno;
       reason = std::strerror(err);
       ::close(fd);
@@ -130,7 +154,7 @@ int try_connect(const ListenAddress& address, std::string& reason,
       continue;
     }
     set_cloexec(fd);
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+    if (connect_eintr(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
       set_nodelay(fd);
       break;
     }
@@ -158,21 +182,18 @@ int connect_socket(const ListenAddress& address) {
 
 int connect_socket(const ListenAddress& address,
                    const ConnectOptions& options) {
-  if (options.attempts < 1)
-    throw InvalidArgumentError("connect 'attempts' must be positive");
-  if (options.backoff_ms < 0)
-    throw InvalidArgumentError("connect 'backoff_ms' must be non-negative");
+  options.validate("connect");
   for (int attempt = 1;; ++attempt) {
     std::string reason;
     int err = 0;
     const int fd = try_connect(address, reason, err);
     if (fd >= 0) return fd;
-    if (attempt >= options.attempts || !transient_connect_error(err))
+    if (!transient_connect_error(err) || options.attempts <= 1)
       throw Error("cannot connect to '" + address.spec() + "': " + reason);
-    // Linear backoff keeps the worst case bounded and predictable:
-    // attempts × backoff grows quadratically, not exponentially.
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options.backoff_ms * attempt));
+    if (!options.should_retry(attempt))
+      throw Error(options.give_up("cannot connect to '" + address.spec() +
+                                  "'", reason));
+    options.sleep_before_retry(attempt);
   }
 }
 
@@ -380,7 +401,10 @@ struct SocketServer::Impl {
   void refuse(int fd, const std::string& message) {
     const std::string line =
         encode_v2_response(util::Json(), error_body(message)).dump() + "\n";
-    (void)::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    ssize_t sent;
+    do {  // EINTR must not eat the only error line the peer will ever see
+      sent = ::send(fd, line.data(), line.size(), MSG_NOSIGNAL);
+    } while (sent < 0 && errno == EINTR);
     ::shutdown(fd, SHUT_WR);
     ::fcntl(fd, F_SETFL, O_NONBLOCK);
     char scratch[4096];

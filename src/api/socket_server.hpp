@@ -33,6 +33,7 @@
 #include "api/serve.hpp"
 #include "api/service.hpp"
 #include "util/json.hpp"
+#include "util/retry.hpp"
 
 namespace rsp::api {
 
@@ -60,17 +61,15 @@ ListenAddress parse_listen_address(const std::string& spec);
 /// above). Returns the connected fd; throws rsp::Error on failure.
 int connect_socket(const ListenAddress& address);
 
-/// Bounded retry policy for `connect_socket`: a worker that is still
-/// binding (ECONNREFUSED, or ENOENT for a unix socket not yet created) is
-/// retried up to `attempts` times, sleeping `backoff_ms * attempt` between
-/// tries. Non-transient failures (resolution errors, EACCES, ...) are
-/// never retried. The default is a single attempt — identical to the
-/// plain overload — so callers opt in explicitly (`rsp_cli connect
-/// --retry`, the coordinator's worker links).
-struct ConnectOptions {
-  int attempts = 1;
-  int backoff_ms = 25;
-};
+/// Bounded retry policy for `connect_socket` — the shared
+/// util::RetryPolicy: a worker that is still binding (ECONNREFUSED, or
+/// ENOENT for a unix socket not yet created) is retried up to `attempts`
+/// times with the policy's (default linear) backoff between tries.
+/// Non-transient failures (resolution errors, EACCES, ...) are never
+/// retried. The default is a single attempt — identical to the plain
+/// overload — so callers opt in explicitly (`rsp_cli connect --retry`,
+/// the coordinator's worker links and health probes).
+using ConnectOptions = util::RetryPolicy;
 
 int connect_socket(const ListenAddress& address,
                    const ConnectOptions& options);

@@ -4,6 +4,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -14,6 +15,7 @@
 #include <optional>
 #include <ostream>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "api/protocol.hpp"
@@ -27,7 +29,9 @@ namespace rsp::dist {
 
 /// One per-run worker connection. The owning phase thread is the only
 /// reader/writer of the streams; the shared PhaseState mutex covers every
-/// field the merge and accounting paths read.
+/// field the merge and accounting paths read. Links live in a std::deque
+/// so the prober can append re-admitted connections mid-phase without
+/// invalidating the pointers running worker threads hold.
 struct DseCoordinator::WorkerLink {
   std::size_t index = 0;  ///< into addresses_ / worker_stats_
   api::ListenAddress address;
@@ -54,23 +58,39 @@ struct DseCoordinator::Shard {
 /// when ready (work stealing by construction: a slow worker simply pulls
 /// less), push failed shards back for the survivors, and wait on the
 /// condition while peers still have shards in flight — an in-flight shard
-/// may yet be re-queued.
+/// may yet be re-queued. The prober thread shares the same mutex/condition:
+/// quarantine events wake it, and it appends re-admitted links and their
+/// worker threads under the same lock.
 struct DseCoordinator::PhaseState {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<Shard> queue;
-  std::size_t pending = 0;  ///< shards queued or in flight
+  /// Shards out of remote attempts (or stranded when every worker was
+  /// lost), destined for the in-process fallback after the joins.
+  std::deque<Shard> local_queue;
+  std::size_t pending = 0;  ///< shards queued or in flight *remotely*
   int active_workers = 0;
   bool failed = false;
   std::string error;
+  std::string last_loss;  ///< most recent transport failure, for messages
   long redispatched = 0;
   /// op/kernels/config/mode — identical for every shard of the phase;
   /// begin/end and the envelope are stamped per request.
   util::Json request_template;
+  // The same shard parameters, typed — what drain_locally feeds
+  // Service::dse_shard so the fallback path runs the identical request.
+  std::vector<std::string> kernels;
+  dse::ExplorerConfig config;
+  bool exact = false;
   /// Merges one ok response into the run's slots; called under `mu`, in
   /// completion order (slot writes make order irrelevant). Throws
   /// rsp::Error on malformed or inconsistent payloads — fatal.
   std::function<void(const Shard&, const util::Json&)> apply;
+  /// The run's link deque — the prober appends re-admitted links here.
+  std::deque<WorkerLink>* links = nullptr;
+  /// Every worker thread of the phase, the prober's re-admissions
+  /// included; grows only under `mu`, joined after the prober exits.
+  std::vector<std::thread> threads;
 };
 
 DseCoordinator::DseCoordinator(std::vector<api::ListenAddress> workers,
@@ -82,69 +102,133 @@ DseCoordinator::DseCoordinator(std::vector<api::ListenAddress> workers,
     throw InvalidArgumentError("coordinator requires at least one worker");
   if (options_.shard_points < 1)
     throw InvalidArgumentError("'shard_points' must be positive");
-  if (options_.max_shard_attempts < 1)
-    throw InvalidArgumentError("'max_shard_attempts' must be positive");
   if (options_.request_timeout_ms < 0)
     throw InvalidArgumentError("'request_timeout_ms' must be non-negative");
-  if (options_.redispatch_backoff_ms < 0)
-    throw InvalidArgumentError("'redispatch_backoff_ms' must be non-negative");
+  options_.redispatch.validate("'redispatch'");
+  options_.connect.validate("'connect'");
+  options_.probe.validate("'probe'");
+  if (options_.circuit_breaker_failures < 1)
+    throw InvalidArgumentError(
+        "'circuit_breaker_failures' must be positive");
 }
 
 DseCoordinator::~DseCoordinator() = default;
 
-std::vector<DseCoordinator::WorkerLink> DseCoordinator::connect_workers() {
-  std::vector<WorkerLink> links;
-  links.reserve(addresses_.size());
+DseCoordinator::LinkResult DseCoordinator::open_link(
+    std::size_t index, const api::ConnectOptions& policy, WorkerLink& link,
+    std::string& error) {
+  link.index = index;
+  link.address = addresses_[index];
+  try {
+    link.fd = api::connect_socket(link.address, policy);
+  } catch (const std::exception& e) {
+    error = e.what();
+    return LinkResult::kTransport;
+  }
+  if (options_.request_timeout_ms > 0) {
+    // Per-request timeout: a stalled worker surfaces as a failed
+    // recv/send, which the transport-failure path turns into a
+    // quarantine + redispatch.
+    timeval tv{};
+    tv.tv_sec = options_.request_timeout_ms / 1000;
+    tv.tv_usec =
+        static_cast<suseconds_t>(options_.request_timeout_ms % 1000) * 1000;
+    ::setsockopt(link.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(link.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  link.buf = std::make_unique<api::SocketStreamBuf>(link.fd);
+  link.in = std::make_unique<std::istream>(link.buf.get());
+  link.out = std::make_unique<std::ostream>(link.buf.get());
+
+  // Handshake: proves the peer speaks v2 *and* the worker ops before any
+  // shard is entrusted to it. A pre-dist server answers with its
+  // unknown-op error, which is exactly the message to surface.
+  util::Json probe = util::Json::object();
+  probe.set("op", "worker_info");
+  util::Json info;
+  if (!round_trip(link, std::move(probe), info)) {
+    error = "worker '" + link.address.spec() +
+            "' handshake failed: " + link.last_error;
+    ::close(link.fd);
+    link.fd = -1;
+    return LinkResult::kTransport;
+  }
+  const bool ok = info.contains("ok") && info.at("ok").is_bool() &&
+                  info.at("ok").as_bool();
+  if (!ok) {
+    const std::string why =
+        info.contains("error") && info.at("error").is_string()
+            ? info.at("error").as_string()
+            : info.dump();
+    error = "worker '" + link.address.spec() +
+            "' refused the worker_info handshake: " + why;
+    ::close(link.fd);
+    link.fd = -1;
+    return LinkResult::kRefused;
+  }
+  long pid = 0;
+  if (info.contains("pid") && info.at("pid").is_number())
+    pid = static_cast<long>(info.at("pid").as_number());
+  link.alive = true;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    WorkerStats& stats = worker_stats_[index];
+    if (pid != 0 && stats.last_pid != 0 && stats.last_pid != pid)
+      RSP_LOG(kInfo) << "worker '" << link.address.spec()
+                     << "' restarted (pid " << stats.last_pid << " -> "
+                     << pid << ")";
+    if (pid != 0) stats.last_pid = pid;
+    stats.alive = true;
+  }
+  return LinkResult::kOk;
+}
+
+std::deque<DseCoordinator::WorkerLink> DseCoordinator::connect_workers() {
+  std::deque<WorkerLink> links;
+  std::size_t connected = 0;
+  std::string first_error;
   try {
     for (std::size_t i = 0; i < addresses_.size(); ++i) {
       WorkerLink link;
-      link.index = i;
-      link.address = addresses_[i];
-      link.fd = api::connect_socket(link.address, options_.connect);
-      if (options_.request_timeout_ms > 0) {
-        // Per-request timeout: a stalled worker surfaces as a failed
-        // recv/send, which the transport-failure path turns into a
-        // redispatch.
-        timeval tv{};
-        tv.tv_sec = options_.request_timeout_ms / 1000;
-        tv.tv_usec =
-            static_cast<suseconds_t>(options_.request_timeout_ms % 1000) *
-            1000;
-        ::setsockopt(link.fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-        ::setsockopt(link.fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+      std::string error;
+      const LinkResult result = open_link(i, options_.connect, link, error);
+      if (result == LinkResult::kRefused)
+        // Deterministic misconfiguration (wrong binary, a pre-dist
+        // server): every retry and every run would be refused
+        // identically, so no quarantine — fail loudly now.
+        throw Error(error);
+      if (result == LinkResult::kTransport) {
+        // Unreachable is a fleet-health event, not a run-fatal one: the
+        // health prober keeps trying mid-run, and the survivors (or the
+        // local fallback) carry the shards meanwhile.
+        std::lock_guard<std::mutex> lk(mu_);
+        WorkerStats& stats = worker_stats_[i];
+        if (!stats.in_quarantine) {
+          stats.in_quarantine = true;
+          ++stats.quarantined;
+        }
+        ++stats.consecutive_failures;
+        stats.alive = false;
+        if (first_error.empty()) first_error = error;
+        RSP_LOG(kWarning) << "worker '" << addresses_[i].spec()
+                          << "' unreachable at run start, quarantined: "
+                          << error;
+        continue;
       }
-      link.buf = std::make_unique<api::SocketStreamBuf>(link.fd);
-      link.in = std::make_unique<std::istream>(link.buf.get());
-      link.out = std::make_unique<std::ostream>(link.buf.get());
-      link.alive = true;
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        worker_stats_[i].in_quarantine = false;
+      }
+      ++connected;
       links.push_back(std::move(link));
-
-      // Handshake: proves the peer speaks v2 *and* the worker ops before
-      // any shard is entrusted to it. A pre-dist server answers with its
-      // unknown-op error, which is exactly the message to surface.
-      WorkerLink& back = links.back();
-      util::Json probe = util::Json::object();
-      probe.set("op", "worker_info");
-      util::Json info;
-      if (!round_trip(back, std::move(probe), info))
-        throw Error("worker '" + back.address.spec() +
-                    "' handshake failed: " + back.last_error);
-      const bool ok = info.contains("ok") && info.at("ok").is_bool() &&
-                      info.at("ok").as_bool();
-      if (!ok) {
-        const std::string why =
-            info.contains("error") && info.at("error").is_string()
-                ? info.at("error").as_string()
-                : info.dump();
-        throw Error("worker '" + back.address.spec() +
-                    "' refused the worker_info handshake: " + why);
-      }
     }
   } catch (...) {
     for (WorkerLink& link : links)
       if (link.fd >= 0) ::close(link.fd);
     throw;
   }
+  if (connected == 0 && !options_.local_fallback)
+    throw Error("cannot reach any worker (first: " + first_error + ")");
   return links;
 }
 
@@ -189,6 +273,20 @@ bool DseCoordinator::round_trip(WorkerLink& link, util::Json request,
   return true;
 }
 
+void DseCoordinator::quarantine_worker(WorkerLink& link, PhaseState& state) {
+  link.alive = false;
+  --state.active_workers;
+  state.last_loss = link.last_error;
+  std::lock_guard<std::mutex> lk(mu_);
+  WorkerStats& stats = worker_stats_[link.index];
+  if (!stats.in_quarantine) {
+    stats.in_quarantine = true;
+    ++stats.quarantined;
+  }
+  ++stats.consecutive_failures;
+  stats.alive = false;
+}
+
 void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
   for (;;) {
     Shard shard;
@@ -203,9 +301,8 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
       shard = state.queue.front();
       state.queue.pop_front();
     }
-    if (shard.attempts > 0 && options_.redispatch_backoff_ms > 0)
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          options_.redispatch_backoff_ms * shard.attempts));
+    if (shard.attempts > 0)
+      options_.redispatch.sleep_before_retry(shard.attempts);
 
     util::Json request = state.request_template;
     request.set("begin", static_cast<std::int64_t>(shard.begin));
@@ -213,29 +310,34 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
 
     util::Json response;
     if (!round_trip(link, std::move(request), response)) {
-      // Transport failure: this worker is dead for the rest of the run;
-      // its shard goes back to the survivors (bounded attempts).
+      // Transport failure: quarantine the worker (the prober may bring it
+      // — or a restarted successor — back) and put the shard back for the
+      // survivors, under the bounded redispatch policy.
+      const std::string shard_name = "shard [" +
+                                     std::to_string(shard.begin) + ", " +
+                                     std::to_string(shard.end) + ")";
       std::lock_guard<std::mutex> lk(state.mu);
-      link.alive = false;
       ++link.retries;
-      --state.active_workers;
+      quarantine_worker(link, state);
       ++shard.attempts;
-      if (shard.attempts >= options_.max_shard_attempts) {
-        state.failed = true;
-        state.error = "shard [" + std::to_string(shard.begin) + ", " +
-                      std::to_string(shard.end) + ") failed " +
-                      std::to_string(shard.attempts) +
-                      " times (last: " + link.last_error + ")";
-      } else if (state.active_workers == 0) {
-        state.failed = true;
-        state.error = "all workers lost with shards pending (last: " +
-                      link.last_error + ")";
+      if (!options_.redispatch.should_retry(shard.attempts)) {
+        if (options_.local_fallback) {
+          state.local_queue.push_back(shard);
+          --state.pending;
+          RSP_LOG(kWarning)
+              << shard_name << " out of remote attempts, queued for "
+              << "local evaluation (last: " << link.last_error << ")";
+        } else {
+          state.failed = true;
+          state.error =
+              options_.redispatch.give_up(shard_name, link.last_error);
+        }
       } else {
         state.queue.push_back(shard);
         ++state.redispatched;
         RSP_LOG(kWarning) << "worker " << link.address.spec()
-                       << " lost, re-dispatching shard [" << shard.begin
-                       << ", " << shard.end << "): " << link.last_error;
+                          << " lost, re-dispatching " << shard_name << ": "
+                          << link.last_error;
       }
       state.cv.notify_all();
       return;
@@ -266,28 +368,177 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
     }
     ++link.shards;
     --state.pending;
+    {
+      // A completed shard is the one event that resets the circuit
+      // breaker: the worker proved it can do real work again.
+      std::lock_guard<std::mutex> stats_lk(mu_);
+      worker_stats_[link.index].consecutive_failures = 0;
+    }
     state.cv.notify_all();
   }
 }
 
-void DseCoordinator::run_phase(std::vector<WorkerLink>& links,
+void DseCoordinator::prober_loop(PhaseState& state) {
+  using Clock = std::chrono::steady_clock;
+  // Per-phase probe schedule; a fresh quarantine (or a successful
+  // re-admission followed by a later loss) restarts a worker's budget.
+  struct Slot {
+    int attempts = 0;
+    Clock::time_point next;  ///< default epoch: due immediately
+    bool exhausted = false;
+  };
+  std::unordered_map<std::size_t, Slot> slots;
+
+  std::unique_lock<std::mutex> lk(state.mu);
+  for (;;) {
+    if (state.failed || state.pending == 0) return;
+
+    // Snapshot the probe-eligible quarantined workers (stats lock nests
+    // inside state.mu).
+    std::vector<std::size_t> candidates;
+    {
+      std::lock_guard<std::mutex> stats_lk(mu_);
+      for (std::size_t i = 0; i < addresses_.size(); ++i) {
+        const WorkerStats& stats = worker_stats_[i];
+        if (!stats.in_quarantine) continue;
+        if (stats.consecutive_failures >= options_.circuit_breaker_failures)
+          continue;  // breaker open: stop probing a flapper
+        if (slots[i].exhausted) continue;
+        candidates.push_back(i);
+      }
+    }
+
+    const auto now = Clock::now();
+    std::size_t due = addresses_.size();  // sentinel: nobody due yet
+    auto earliest = now + std::chrono::hours(1);
+    for (const std::size_t i : candidates) {
+      const Slot& slot = slots[i];
+      if (slot.next <= now) {
+        due = i;
+        break;
+      }
+      earliest = std::min(earliest, slot.next);
+    }
+
+    if (due == addresses_.size()) {
+      if (!candidates.empty()) {
+        // Everyone eligible is backing off; sleep until the earliest
+        // probe comes due (or the phase resolves).
+        state.cv.wait_until(lk, earliest);
+        continue;
+      }
+      if (state.active_workers > 0) {
+        // Nothing to probe while the survivors work; a quarantine event
+        // or the end of the phase wakes us.
+        state.cv.wait(lk);
+        continue;
+      }
+      // Endgame: every worker is lost (or breaker-open, or out of probe
+      // budget) and shards are still pending — nothing is in flight, so
+      // the queue holds them all. Finish the run locally, or abort.
+      if (options_.local_fallback) {
+        while (!state.queue.empty()) {
+          state.local_queue.push_back(state.queue.front());
+          state.queue.pop_front();
+          --state.pending;
+        }
+      } else {
+        state.failed = true;
+        state.error = "all workers lost with shards pending (last: " +
+                      state.last_loss + ")";
+      }
+      state.cv.notify_all();
+      return;
+    }
+
+    // Probe `due` outside both locks: one single-shot connect+handshake.
+    Slot& slot = slots[due];
+    ++slot.attempts;
+    {
+      std::lock_guard<std::mutex> stats_lk(mu_);
+      ++worker_stats_[due].probes;
+    }
+    lk.unlock();
+    WorkerLink fresh;
+    std::string error;
+    const api::ConnectOptions single_attempt{1, 0};
+    const LinkResult result = open_link(due, single_attempt, fresh, error);
+    lk.lock();
+
+    if (result == LinkResult::kOk) {
+      slot.attempts = 0;  // a later quarantine gets a fresh budget
+      state.links->push_back(std::move(fresh));
+      WorkerLink& link = state.links->back();
+      {
+        std::lock_guard<std::mutex> stats_lk(mu_);
+        WorkerStats& stats = worker_stats_[due];
+        stats.in_quarantine = false;
+        ++stats.readmitted;
+      }
+      // kWarning like the quarantine that preceded it: the pair of lines
+      // is the operator's (and chaos_smoke.sh's) record of the outage.
+      RSP_LOG(kWarning) << "worker '" << link.address.spec()
+                        << "' re-admitted to the run";
+      if (!state.failed && state.pending > 0) {
+        ++state.active_workers;
+        state.threads.emplace_back(
+            [this, &link, &state] { worker_loop(link, state); });
+      }
+      state.cv.notify_all();
+      continue;
+    }
+    // kRefused is deterministic (see connect_workers): further probes
+    // would be refused identically, so stop wasting them. Transport
+    // failures back off under the probe policy.
+    if (result == LinkResult::kRefused ||
+        !options_.probe.should_retry(slot.attempts)) {
+      slot.exhausted = true;
+      RSP_LOG(kWarning) << options_.probe.give_up(
+          "health probe of worker '" + addresses_[due].spec() + "'", error);
+    } else {
+      slot.next = Clock::now() + std::chrono::milliseconds(
+                                     options_.probe.delay_ms(slot.attempts));
+    }
+  }
+}
+
+void DseCoordinator::run_phase(std::deque<WorkerLink>& links,
                                PhaseState& state, const char* phase) {
   if (state.queue.empty()) return;
   state.pending = state.queue.size();
+  state.links = &links;
   std::vector<WorkerLink*> alive;
   for (WorkerLink& link : links)
     if (link.alive) alive.push_back(&link);
-  if (alive.empty())
-    throw Error(std::string("no live workers left for the ") + phase +
-                " phase");
-  state.active_workers = static_cast<int>(alive.size());
 
-  std::vector<std::thread> threads;
-  threads.reserve(alive.size());
-  for (WorkerLink* link : alive)
-    threads.emplace_back(
-        [this, link, &state] { worker_loop(*link, state); });
-  for (std::thread& t : threads) t.join();
+  if (alive.empty()) {
+    // The whole fleet is already gone (lost in an earlier phase, or
+    // unreachable from the start): the run continues in-process, or not
+    // at all.
+    if (!options_.local_fallback)
+      throw Error(std::string("no live workers left for the ") + phase +
+                  " phase");
+    while (!state.queue.empty()) {
+      state.local_queue.push_back(state.queue.front());
+      state.queue.pop_front();
+    }
+    state.pending = 0;
+  } else {
+    {
+      std::lock_guard<std::mutex> lk(state.mu);
+      state.active_workers = static_cast<int>(alive.size());
+      state.threads.reserve(alive.size() + 1);
+      for (WorkerLink* link : alive)
+        state.threads.emplace_back(
+            [this, link, &state] { worker_loop(*link, state); });
+    }
+    std::thread prober([this, &state] { prober_loop(state); });
+    // The prober exits only once the phase is resolved (done, failed, or
+    // handed to the local fallback), so after this join the thread vector
+    // is final and every worker thread is on its way out.
+    prober.join();
+    for (std::thread& t : state.threads) t.join();
+  }
 
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -296,9 +547,37 @@ void DseCoordinator::run_phase(std::vector<WorkerLink>& links,
   if (state.failed)
     throw Error(std::string("distributed ") + phase +
                 " phase failed: " + state.error);
+  drain_locally(state, phase);
 }
 
-void DseCoordinator::fold_stats(const std::vector<WorkerLink>& links) {
+api::Service& DseCoordinator::local_service() {
+  // run_mu_ is held for the whole run, so lazy creation is serialized.
+  if (!local_service_) local_service_ = std::make_unique<api::Service>();
+  return *local_service_;
+}
+
+void DseCoordinator::drain_locally(PhaseState& state, const char* phase) {
+  if (state.local_queue.empty()) return;
+  RSP_LOG(kWarning) << "computing " << state.local_queue.size() << " "
+                    << phase << " shard(s) locally (fleet unavailable)";
+  api::Service& service = local_service();
+  for (const Shard& shard : state.local_queue) {
+    api::DseShardRequest request;
+    request.kernels = state.kernels;
+    request.config = state.config;
+    request.begin = static_cast<long>(shard.begin);
+    request.end = static_cast<long>(shard.end);
+    request.exact = state.exact;
+    // Through to_body and the phase's own apply: the fallback merges by
+    // the exact path a remote response would take, validation included —
+    // bit-identity is inherited, not re-proven.
+    state.apply(shard, api::to_body(service.dse_shard(request)));
+    std::lock_guard<std::mutex> lk(mu_);
+    ++local_fallback_shards_;
+  }
+}
+
+void DseCoordinator::fold_stats(const std::deque<WorkerLink>& links) {
   std::lock_guard<std::mutex> lk(mu_);
   ++runs_;
   for (const WorkerLink& link : links) {
@@ -306,10 +585,12 @@ void DseCoordinator::fold_stats(const std::vector<WorkerLink>& links) {
     stats.shards += link.shards;
     stats.retries += link.retries;
     stats.busy_ms += link.busy_ms;
-    stats.alive = link.alive;
     shards_ += link.shards;
-    if (!link.alive) ++workers_lost_;
   }
+  // A worker still quarantined when the run ends was lost to *this* run;
+  // the next run's connect (or its prober) gives it a fresh chance.
+  for (const WorkerStats& stats : worker_stats_)
+    if (stats.in_quarantine) ++workers_lost_;
 }
 
 // ------------------------------------------------------------------- runs
@@ -362,7 +643,7 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
   const arch::Architecture base = explorer.base_architecture();
   const std::size_t num_kernels = domain.size();
 
-  std::vector<WorkerLink> links = connect_workers();
+  std::deque<WorkerLink> links = connect_workers();
   try {
     // Phase 1: estimate shards over the whole grid. Workers return
     // integer cycle sums only; slot i always receives enumeration index
@@ -373,6 +654,9 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
       PhaseState state;
       state.request_template =
           shard_request_template(resp.kernels, request.config, false);
+      state.kernels = resp.kernels;
+      state.config = request.config;
+      state.exact = false;
       const auto shard_points =
           static_cast<std::size_t>(options_.shard_points);
       for (std::size_t lo = 0; lo < points.size(); lo += shard_points)
@@ -426,6 +710,9 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
       PhaseState state;
       state.request_template =
           shard_request_template(resp.kernels, request.config, true);
+      state.kernels = resp.kernels;
+      state.config = request.config;
+      state.exact = true;
       for (std::size_t i = 0; i < result.candidates.size(); ++i)
         if (result.candidates[i].pareto) state.queue.push_back({i, i + 1, 0});
       state.apply = [&](const Shard& shard, const util::Json& body) {
@@ -489,6 +776,9 @@ util::Json DseCoordinator::stats_json() const {
         .set("shards", static_cast<std::int64_t>(stats.shards))
         .set("retries", static_cast<std::int64_t>(stats.retries))
         .set("busy_ms", static_cast<std::int64_t>(stats.busy_ms))
+        .set("quarantined", static_cast<std::int64_t>(stats.quarantined))
+        .set("readmitted", static_cast<std::int64_t>(stats.readmitted))
+        .set("probes", static_cast<std::int64_t>(stats.probes))
         .set("alive", stats.alive);
     workers.push(std::move(entry));
   }
@@ -497,7 +787,9 @@ util::Json DseCoordinator::stats_json() const {
       .set("runs", static_cast<std::int64_t>(runs_))
       .set("shards", static_cast<std::int64_t>(shards_))
       .set("redispatched", static_cast<std::int64_t>(redispatched_))
-      .set("workers_lost", static_cast<std::int64_t>(workers_lost_));
+      .set("workers_lost", static_cast<std::int64_t>(workers_lost_))
+      .set("local_fallback_shards",
+           static_cast<std::int64_t>(local_fallback_shards_));
   return doc;
 }
 

@@ -19,22 +19,39 @@
 // dse::Explorer code the single-process path runs — in serial enumeration
 // order, after all shards join — the merged ExplorationResult is
 // bit-identical to Service::dse by construction, regardless of worker
-// count, shard size, completion order, retries or worker death.
+// count, shard size, completion order, retries, worker death, re-admission
+// or local fallback.
 //
-// Failure model (robust fleet behaviour, not a happy-path loop):
-//   * connections are opened per run with bounded connect retries and a
-//     `worker_info` handshake; per-request SO_RCVTIMEO/SO_SNDTIMEO
-//     timeouts bound every round trip;
+// Failure model (a resilient fleet, not a happy-path loop):
+//   * connections are opened per run with bounded connect retries
+//     (`connect`, a util::RetryPolicy) and a `worker_info` handshake;
+//     per-request SO_RCVTIMEO/SO_SNDTIMEO timeouts bound every round trip;
 //   * a transport failure (reset, EOF, timeout, malformed or mismatched
-//     response) kills that worker for the rest of the run and re-queues
-//     the shard for the survivors, with linear redispatch backoff and a
-//     bounded attempt count;
-//   * an in-band {"ok": false} rejection is fatal — shard requests are
-//     deterministic, so another worker would reject them identically;
-//   * losing the last worker with shards pending aborts the run with a
-//     clear error.
+//     response) *quarantines* that worker instead of dropping it: its
+//     shard is re-queued for the survivors under the bounded `redispatch`
+//     policy, while a health-prober thread re-probes the quarantined
+//     address (bounded-backoff `worker_info` probes, the `probe` policy)
+//     and re-admits the worker mid-run on success — a restarted process
+//     (new pid in the handshake) rejoins transparently. A worker still
+//     quarantined when a run ends is retried afresh on the next run's
+//     connect, so re-admission also happens across runs;
+//   * a worker that keeps failing shards trips a per-worker circuit
+//     breaker after `circuit_breaker_failures` consecutive failures and is
+//     no longer probed (a completed shard resets the count) — a flapping
+//     worker cannot consume the run in probe/re-admit/die loops;
+//   * an in-band {"ok": false} rejection — of the handshake or of a shard
+//     — is fatal: requests are deterministic, so every worker would
+//     reject them identically; no quarantine, no retry;
+//   * when every worker is lost (or unreachable from the start) with
+//     shards still pending, the coordinator *finishes the run itself*:
+//     remaining shards are computed in-process through the same
+//     Service::dse_shard code the workers run, so the result is still
+//     bit-identical. `local_fallback = false` opts out and restores the
+//     hard "all workers lost" abort.
 #pragma once
 
+#include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -42,6 +59,7 @@
 #include "api/service.hpp"
 #include "api/socket_server.hpp"
 #include "util/json.hpp"
+#include "util/retry.hpp"
 
 namespace rsp::dist {
 
@@ -53,16 +71,29 @@ struct CoordinatorOptions {
   /// Per-request send/receive timeout; a worker that stalls longer is
   /// treated as dead and its shard re-dispatched.
   int request_timeout_ms = 30000;
-  /// A shard that has failed transport this many times aborts the run —
-  /// it bounds the damage of a shard that kills every worker it visits.
-  int max_shard_attempts = 3;
-  /// Sleep `redispatch_backoff_ms × attempts` before re-sending a
-  /// previously failed shard.
-  int redispatch_backoff_ms = 10;
+  /// Per-shard dispatch budget: a shard may fail transport `attempts`
+  /// times in total (with the policy's backoff before each re-send)
+  /// before it stops being re-dispatched — it bounds the damage of a
+  /// shard that kills every worker it visits. An exhausted shard falls
+  /// back to local evaluation (or aborts the run, see `local_fallback`).
+  util::RetryPolicy redispatch{3, 10};
   /// Connect policy for the per-run worker connections. Retries are on by
   /// default here (unlike `rsp_cli connect`): coordinators routinely race
   /// freshly spawned workers to the bind.
   api::ConnectOptions connect{40, 25};
+  /// Health-probe policy for quarantined workers: per phase, each
+  /// quarantined worker gets `attempts` single-shot worker_info probes
+  /// with exponential backoff between them; a successful probe re-admits
+  /// the worker into the running phase.
+  util::RetryPolicy probe{4, 25, util::RetryPolicy::Backoff::kExponential,
+                          2000};
+  /// Consecutive shard-level failures (never reset by a mere handshake —
+  /// only by a *completed* shard) after which a worker stops being
+  /// health-probed: the flapping-worker circuit breaker.
+  int circuit_breaker_failures = 3;
+  /// When every worker is lost with shards pending, compute the remaining
+  /// shards in-process instead of aborting (see header comment).
+  bool local_fallback = true;
 };
 
 class DseCoordinator {
@@ -78,15 +109,16 @@ class DseCoordinator {
 
   /// The distributed Fig. 7 flow; bit-identical to api::Service::dse on
   /// the same request. Thread-safe (concurrent calls serialize); throws
-  /// rsp::Error when the run cannot complete (all workers lost, a shard
-  /// out of attempts, a worker rejecting a shard, disagreeing base
-  /// cycles).
+  /// rsp::Error when the run cannot complete (all workers lost with
+  /// local_fallback off, a worker rejecting a request in-band,
+  /// disagreeing base cycles).
   api::DseResponse dse(const api::DseRequest& request);
 
   /// The "dist" section folded into cache_stats (Service::
   /// set_dist_extension): {"workers": [{"address", "shards", "retries",
-  /// "busy_ms", "alive"}...], "runs", "shards", "redispatched",
-  /// "workers_lost"}. Counters aggregate across runs.
+  /// "busy_ms", "quarantined", "readmitted", "probes", "alive"}...],
+  /// "runs", "shards", "redispatched", "workers_lost",
+  /// "local_fallback_shards"}. Counters aggregate across runs.
   util::Json stats_json() const;
 
   const std::vector<api::ListenAddress>& workers() const {
@@ -98,13 +130,35 @@ class DseCoordinator {
   struct Shard;        // one [begin, end) work item
   struct PhaseState;   // the pull queue one phase's workers drain
 
-  std::vector<WorkerLink> connect_workers();
-  void run_phase(std::vector<WorkerLink>& links, PhaseState& state,
+  /// Outcome of opening one worker connection (connect + handshake).
+  enum class LinkResult {
+    kOk,         ///< connected, handshake accepted
+    kTransport,  ///< unreachable / died mid-handshake — quarantineable
+    kRefused,    ///< in-band handshake rejection — deterministic, fatal
+  };
+
+  /// Connects addresses_[index] under `policy` and runs the worker_info
+  /// handshake into `link`. On kOk the link is open and `alive`; otherwise
+  /// `error` explains and the fd is closed.
+  LinkResult open_link(std::size_t index, const api::ConnectOptions& policy,
+                       WorkerLink& link, std::string& error);
+  std::deque<WorkerLink> connect_workers();
+  void run_phase(std::deque<WorkerLink>& links, PhaseState& state,
                  const char* phase);
   void worker_loop(WorkerLink& link, PhaseState& state);
+  /// The per-phase health prober: re-admits quarantined workers mid-run,
+  /// and resolves the all-workers-lost endgame (local fallback or abort).
+  void prober_loop(PhaseState& state);
   bool round_trip(WorkerLink& link, util::Json request,
                   util::Json& response);
-  void fold_stats(const std::vector<WorkerLink>& links);
+  /// Marks `link`'s worker lost for now (stats + phase accounting); called
+  /// under state.mu.
+  void quarantine_worker(WorkerLink& link, PhaseState& state);
+  /// Computes state.local_queue in-process through Service::dse_shard and
+  /// the phase's own apply — the byte-identical fallback path.
+  void drain_locally(PhaseState& state, const char* phase);
+  api::Service& local_service();
+  void fold_stats(const std::deque<WorkerLink>& links);
 
   const std::vector<api::ListenAddress> addresses_;
   const CoordinatorOptions options_;
@@ -112,13 +166,24 @@ class DseCoordinator {
   /// Serializes runs: one grid-wide pull queue at a time keeps the
   /// failure/redispatch accounting legible.
   std::mutex run_mu_;
+  /// Lazily created on first local fallback; guarded by run_mu_.
+  std::unique_ptr<api::Service> local_service_;
 
-  /// Cross-run aggregates for stats_json(), guarded by mu_.
+  /// Cross-run aggregates for stats_json(). Guarded by mu_, which nests
+  /// *inside* PhaseState::mu — never take state.mu while holding mu_.
   struct WorkerStats {
-    long shards = 0;    ///< shards completed, all runs
-    long retries = 0;   ///< transport failures charged to this worker
-    long busy_ms = 0;   ///< summed round-trip latency
-    bool alive = true;  ///< survived the most recent run it served
+    long shards = 0;       ///< shards completed, all runs
+    long retries = 0;      ///< transport failures charged to this worker
+    long busy_ms = 0;      ///< summed round-trip latency
+    long quarantined = 0;  ///< times this worker entered quarantine
+    long readmitted = 0;   ///< successful mid-run re-admissions
+    long probes = 0;       ///< health probes attempted
+    /// Circuit-breaker state: shard-level failures since the last
+    /// *completed* shard (handshakes do not reset it).
+    int consecutive_failures = 0;
+    bool in_quarantine = false;  ///< currently lost, awaiting re-admission
+    long last_pid = 0;           ///< last handshake pid (restart detection)
+    bool alive = true;           ///< connected and serving right now
   };
   mutable std::mutex mu_;
   std::vector<WorkerStats> worker_stats_;
@@ -126,6 +191,7 @@ class DseCoordinator {
   long shards_ = 0;
   long redispatched_ = 0;
   long workers_lost_ = 0;
+  long local_fallback_shards_ = 0;
 };
 
 }  // namespace rsp::dist

@@ -1,0 +1,183 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace rsp::util {
+
+namespace {
+
+/// Strict positive-integer field: the whole of `text` must be digits.
+long parse_count(const std::string& text, const std::string& rule,
+                 const char* what) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos)
+    throw InvalidArgumentError("fault plan rule '" + rule + "': " + what +
+                               " must be a positive integer");
+  long value = 0;
+  for (const char c : text) {
+    value = value * 10 + (c - '0');
+    if (value > 1000000000)
+      throw InvalidArgumentError("fault plan rule '" + rule + "': " + what +
+                                 " is out of range");
+  }
+  if (value < 1)
+    throw InvalidArgumentError("fault plan rule '" + rule + "': " + what +
+                               " must be a positive integer");
+  return value;
+}
+
+FaultAction parse_action(const std::string& text, const std::string& rule) {
+  FaultAction action;
+  if (text == "drop") {
+    action.kind = FaultAction::Kind::kDrop;
+  } else if (text == "truncate") {
+    action.kind = FaultAction::Kind::kTruncate;
+  } else if (text == "garbage") {
+    action.kind = FaultAction::Kind::kGarbage;
+  } else if (text == "refuse") {
+    action.kind = FaultAction::Kind::kRefuse;
+  } else if (text.rfind("delay=", 0) == 0) {
+    action.kind = FaultAction::Kind::kDelay;
+    action.delay_ms = static_cast<int>(std::min(
+        parse_count(text.substr(6), rule, "delay"), 60000L));
+  } else {
+    throw InvalidArgumentError(
+        "fault plan rule '" + rule + "': unknown action '" + text +
+        "' (drop, delay=MS, truncate, garbage, refuse)");
+  }
+  return action;
+}
+
+std::string action_spec(const FaultAction& action) {
+  switch (action.kind) {
+    case FaultAction::Kind::kDrop:
+      return "drop";
+    case FaultAction::Kind::kDelay:
+      return "delay=" + std::to_string(action.delay_ms);
+    case FaultAction::Kind::kTruncate:
+      return "truncate";
+    case FaultAction::Kind::kGarbage:
+      return "garbage";
+    case FaultAction::Kind::kRefuse:
+      return "refuse";
+    case FaultAction::Kind::kNone:
+      break;
+  }
+  return "none";
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.find_first_not_of(" \t") == std::string::npos)
+    throw InvalidArgumentError("fault plan spec is empty");
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string rule = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (rule.empty())
+      throw InvalidArgumentError("fault plan has an empty rule");
+
+    if (rule.rfind("at=", 0) == 0) {
+      const std::size_t colon = rule.find(':');
+      if (colon == std::string::npos)
+        throw InvalidArgumentError("fault plan rule '" + rule +
+                                   "': expected at=N:action");
+      Rule r;
+      r.at = parse_count(rule.substr(3, colon - 3), rule, "message ordinal");
+      r.action = parse_action(rule.substr(colon + 1), rule);
+      plan.rules_.push_back(r);
+    } else if (rule.rfind("seed=", 0) == 0) {
+      // Deterministic expansion: same seed, same plan, any platform. Only
+      // recoverable faults (never refuse), never ordinal 1 — the handshake
+      // must pass so the seeded chaos exercises quarantine + re-admission
+      // rather than failing the run at connect time.
+      std::size_t colon = rule.find(':');
+      long count = 1;
+      const std::string seed_text =
+          rule.substr(5, std::min(colon, rule.size()) - 5);
+      if (colon != std::string::npos) {
+        const std::string tail = rule.substr(colon + 1);
+        if (tail.rfind("count=", 0) != 0)
+          throw InvalidArgumentError("fault plan rule '" + rule +
+                                     "': expected seed=S[:count=K]");
+        count = parse_count(tail.substr(6), rule, "count");
+        if (count > 32)
+          throw InvalidArgumentError("fault plan rule '" + rule +
+                                     "': count must be at most 32");
+      }
+      Rng rng(static_cast<std::uint64_t>(
+          parse_count(seed_text, rule, "seed")));
+      for (long i = 0; i < count; ++i) {
+        Rule r;
+        r.at = rng.uniform(2, 40);
+        switch (rng.uniform(0, 3)) {
+          case 0:
+            r.action.kind = FaultAction::Kind::kDrop;
+            break;
+          case 1:
+            r.action.kind = FaultAction::Kind::kDelay;
+            r.action.delay_ms = static_cast<int>(rng.uniform(1, 25));
+            break;
+          case 2:
+            r.action.kind = FaultAction::Kind::kTruncate;
+            break;
+          default:
+            r.action.kind = FaultAction::Kind::kGarbage;
+            break;
+        }
+        plan.rules_.push_back(r);
+      }
+    } else {
+      throw InvalidArgumentError("fault plan rule '" + rule +
+                                 "': expected at=N:action or seed=S");
+    }
+    if (comma == spec.size()) break;
+  }
+  std::stable_sort(
+      plan.rules_.begin(), plan.rules_.end(),
+      [](const Rule& a, const Rule& b) { return a.at < b.at; });
+  return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::string out;
+  for (const Rule& rule : rules_) {
+    if (!out.empty()) out += ",";
+    out += "at=" + std::to_string(rule.at) + ":" + action_spec(rule.action);
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), fired_(plan_.rules_.size(), false) {}
+
+FaultAction FaultInjector::on_message() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++count_;
+  for (std::size_t i = 0; i < plan_.rules_.size(); ++i) {
+    if (fired_[i] || plan_.rules_[i].at != count_) continue;
+    fired_[i] = true;
+    ++fired_count_;
+    return plan_.rules_[i].action;
+  }
+  return {};
+}
+
+long FaultInjector::messages() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+long FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fired_count_;
+}
+
+}  // namespace rsp::util

@@ -1,0 +1,89 @@
+// Deterministic fault injection for the socket transport — chaos testing
+// without kill-timing races.
+//
+// A FaultPlan is parsed from a compact spec string and scripts byte-level
+// misbehaviour at exact request ordinals, so a test can stage "the worker
+// drops its connection on the 2nd request it ever sees" as a real
+// multi-process scenario (`rsp_cli worker --fault-plan at=2:drop`) and
+// still assert byte-identical DSE output. The grammar:
+//
+//   SPEC   := rule ("," rule)*
+//   rule   := "at=" N ":" action        fire once, on the N-th request
+//           | "seed=" S [":count=" K]   K pseudo-random rules from seed S
+//   action := "drop"                    close the connection, no reply
+//           | "delay=" MS               stall handling by MS milliseconds
+//           | "truncate"                emit a partial line, then close
+//           | "garbage"                 emit a non-JSON line first
+//           | "refuse"                  answer {"ok": false} in-band
+//
+// Ordinals are 1-based and counted process-wide across connections by the
+// FaultInjector, and every rule fires exactly once — so a worker that
+// dropped its connection behaves normally after the coordinator's health
+// probe re-admits it, which is exactly the shape re-admission tests need.
+// Seeded rules expand deterministically (same seed → same plan, any
+// platform, via util::Rng) to drop/delay/truncate/garbage at ordinals ≥ 2:
+// ordinal 1 is the coordinator's worker_info handshake, and `refuse` is
+// never generated because an in-band rejection is a deliberately fatal
+// coordinator path, not a recoverable fault.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rsp::util {
+
+struct FaultAction {
+  enum class Kind { kNone, kDrop, kDelay, kTruncate, kGarbage, kRefuse };
+  Kind kind = Kind::kNone;
+  int delay_ms = 0;  ///< kDelay only
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the grammar above; throws InvalidArgumentError naming the
+  /// offending rule on any malformed spec.
+  static FaultPlan parse(const std::string& spec);
+
+  /// Canonical "at=N:action" form, seeded rules expanded — round-trips
+  /// through parse() to an identical plan.
+  std::string spec() const;
+
+  bool empty() const { return rules_.empty(); }
+  std::size_t size() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    long at = 0;
+    FaultAction action;
+  };
+  std::vector<Rule> rules_;
+  friend class FaultInjector;
+};
+
+/// Thread-safe runtime state of one plan: counts request ordinals
+/// process-wide (shared across connections) and fires each rule at most
+/// once. One injector per process; hand the same shared_ptr to every
+/// connection's serve loop.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Called once per request line; returns the scripted action for this
+  /// ordinal (kNone almost always).
+  FaultAction on_message();
+
+  long messages() const;  ///< request ordinals observed so far
+  long fired() const;     ///< rules fired so far
+
+ private:
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  std::vector<bool> fired_;
+  long count_ = 0;
+  long fired_count_ = 0;
+};
+
+}  // namespace rsp::util

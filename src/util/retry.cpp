@@ -1,0 +1,47 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace rsp::util {
+
+void RetryPolicy::validate(const std::string& what) const {
+  if (attempts < 1)
+    throw InvalidArgumentError(what + ": 'attempts' must be positive");
+  if (backoff_ms < 0)
+    throw InvalidArgumentError(what + ": 'backoff_ms' must be non-negative");
+  if (max_backoff_ms < 0)
+    throw InvalidArgumentError(what +
+                               ": 'max_backoff_ms' must be non-negative");
+}
+
+int RetryPolicy::delay_ms(int attempts_made) const {
+  if (attempts_made < 1 || backoff_ms <= 0) return 0;
+  long long delay;
+  if (backoff == Backoff::kLinear) {
+    delay = static_cast<long long>(backoff_ms) * attempts_made;
+  } else {
+    // Saturate the doubling count: 2^30 × any positive base is already far
+    // past every practical cap, and the shift must never overflow.
+    const int doublings = std::min(attempts_made - 1, 30);
+    delay = static_cast<long long>(backoff_ms) << doublings;
+  }
+  return static_cast<int>(std::min<long long>(delay, max_backoff_ms));
+}
+
+void RetryPolicy::sleep_before_retry(int attempts_made) const {
+  const int delay = delay_ms(attempts_made);
+  if (delay > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+std::string RetryPolicy::give_up(const std::string& what,
+                                 const std::string& last_error) const {
+  return what + " gave up after " + std::to_string(attempts) +
+         (attempts == 1 ? " attempt: " : " attempts: ") + last_error;
+}
+
+}  // namespace rsp::util

@@ -344,6 +344,61 @@ TEST(Service, CacheLoadRejectsMissingOrForeignFiles) {
   EXPECT_THROW(service.cache_load({file.path()}), InvalidArgumentError);
 }
 
+TEST(Service, CacheLoadRejectsATruncatedSnapshot) {
+  // A snapshot cut mid-write (disk full, killed process) must be rejected
+  // with a named parse error — and leave the cache untouched.
+  TempFile file("cache_truncated.json");
+  const Service warm(small_options());
+  warm.eval({"SAD"});
+  warm.cache_save({file.path()});
+  std::string text;
+  {
+    std::ifstream in(file.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  ASSERT_GT(text.size(), 40u);
+  {
+    std::ofstream out(file.path(), std::ios::trunc);
+    out << text.substr(0, text.size() / 2);
+  }
+  const Service fresh(small_options());
+  const util::Json body = fresh.handle(CacheLoadRequest{file.path()});
+  EXPECT_FALSE(body.at("ok").as_bool());
+  EXPECT_NE(body.at("error").as_string().find("JSON parse error"),
+            std::string::npos);
+  EXPECT_EQ(fresh.cache_stats({}).stats.entries, 0u);
+}
+
+TEST(Service, CacheLoadRejectsACorruptedEntryWithoutPartialMerge) {
+  // Valid JSON, valid header, but one entry's integer field replaced by a
+  // string: the document must be rejected whole — entries validated before
+  // the bad one must not leak into the table.
+  TempFile file("cache_corrupt_entry.json");
+  const Service warm(small_options());
+  warm.eval({"SAD"});
+  util::Json doc = warm.cache()->serialize();
+  const util::Json& entries = doc.at("entries");
+  ASSERT_GT(entries.size(), 1u);
+  util::Json corrupted = util::Json::array();
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i)
+    corrupted.push(entries.at(i));
+  util::Json bad = entries.at(entries.size() - 1);
+  bad.set("cycles", "not-a-number");
+  corrupted.push(std::move(bad));
+  doc.set("entries", std::move(corrupted));
+  {
+    std::ofstream out(file.path());
+    out << doc.dump() << "\n";
+  }
+  const Service fresh(small_options());
+  const util::Json body = fresh.handle(CacheLoadRequest{file.path()});
+  EXPECT_FALSE(body.at("ok").as_bool());
+  EXPECT_NE(body.at("error").as_string().find("cycles"), std::string::npos);
+  EXPECT_EQ(fresh.cache_stats({}).stats.entries, 0u);  // nothing half-loaded
+}
+
 // ---------------------------------------------------------------- protocol
 
 TEST(Protocol, DecodeV2RejectsBadEnvelopes) {

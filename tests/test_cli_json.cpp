@@ -158,5 +158,33 @@ TEST(CliJson, ServeV2NdjsonMatchesBatchPayloads) {
     EXPECT_EQ(dse.at(field).dump(), results.at(1).at(field).dump()) << field;
 }
 
+TEST(CliJson, ServeRejectsACorruptCacheSnapshotInBand) {
+  // A cache_load of a snapshot truncated mid-write must come back as a
+  // normal {"ok": false} response naming the parse failure — not kill the
+  // serve loop (the next request on the same stream still answers).
+  const std::string path = "/tmp/rsp_cli_json_corrupt_cache.json";
+  run_shell("printf '{\"format\": \"rsp-eval-cache\", \"ver' > " + path);
+  const CliResult r = run_shell(
+      "printf '%s\\n%s\\n' "
+      "'{\"protocol_version\": 2, \"id\": \"cl\", \"op\": \"cache_load\", "
+      "\"path\": \"" + path + "\"}' "
+      "'{\"protocol_version\": 2, \"id\": \"p\", \"op\": \"ping\"}' | " +
+      std::string(RSP_CLI_BINARY) + " serve");
+  run_shell("rm -f " + path);
+  ASSERT_EQ(r.exit_code, 0);
+  std::istringstream lines(r.stdout_text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const util::Json failed = util::Json::parse(line);
+  EXPECT_EQ(failed.at("id").as_string(), "cl");
+  EXPECT_FALSE(failed.at("ok").as_bool());
+  EXPECT_NE(failed.at("error").as_string().find("JSON parse error"),
+            std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  const util::Json ping = util::Json::parse(line);
+  EXPECT_EQ(ping.at("id").as_string(), "p");
+  EXPECT_TRUE(ping.at("ok").as_bool());
+}
+
 }  // namespace
 }  // namespace rsp

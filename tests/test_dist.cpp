@@ -1,10 +1,12 @@
 // The distributed-DSE stack: worker-side shard executors (rsp::runtime),
 // the v2 `dse_shard`/`worker_info` codec, connect retries, and the
 // DseCoordinator end to end against in-process socket workers — including
-// the failure paths (worker death mid-run with redispatch, all workers
-// lost, in-band shard rejection). The Dist* suites also run under the
-// tsan preset: the coordinator's pull queue and the shard executors'
-// fan-outs are exercised with ThreadSanitizer watching.
+// the resilience paths (worker death mid-run with redispatch, scripted
+// connection drops with health-probe re-admission, the all-workers-lost
+// local fallback and its opt-out abort, in-band shard rejection). The
+// Dist* suites also run under the tsan preset: the coordinator's pull
+// queue, its prober thread and the shard executors' fan-outs are
+// exercised with ThreadSanitizer watching.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -31,6 +33,7 @@
 #include "runtime/mapping_cache.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/error.hpp"
+#include "util/fault.hpp"
 #include "util/json.hpp"
 
 namespace rsp::dist {
@@ -342,6 +345,7 @@ TEST(DistProtocol, ShardAndWorkerInfoBodies) {
   info.kernels = 9;
   info.architectures = 5;
   info.pid = 1234;
+  info.uptime_ms = 5678;
   const util::Json info_body = api::to_body(info);
   EXPECT_EQ(info_body.at("op").as_string(), "worker_info");
   EXPECT_EQ(info_body.at("threads").as_number(), 2);
@@ -349,6 +353,7 @@ TEST(DistProtocol, ShardAndWorkerInfoBodies) {
   EXPECT_EQ(info_body.at("kernels").as_number(), 9);
   EXPECT_EQ(info_body.at("architectures").as_number(), 5);
   EXPECT_EQ(info_body.at("pid").as_number(), 1234);
+  EXPECT_EQ(info_body.at("uptime_ms").as_number(), 5678);
 }
 
 TEST(DistProtocol, ServiceShardMatchesServiceDseAndChecksBounds) {
@@ -385,6 +390,10 @@ TEST(DistProtocol, ServiceShardMatchesServiceDseAndChecksBounds) {
   EXPECT_GT(info.kernels, 0u);
   EXPECT_GT(info.architectures, 0u);
   EXPECT_GT(info.pid, 0);
+  // Uptime counts from Service construction; a fresh service is young but
+  // never negative, and a second probe can only be older.
+  EXPECT_GE(info.uptime_ms, 0);
+  EXPECT_GE(service.worker_info({}).uptime_ms, info.uptime_ms);
 }
 
 // ----------------------------------------------------------- connect retry
@@ -517,9 +526,10 @@ class FakeWorker {
 CoordinatorOptions fast_coordinator_options() {
   CoordinatorOptions options;
   options.shard_points = 2;  // many shards: exercises the pull queue
-  options.redispatch_backoff_ms = 0;
+  options.redispatch.backoff_ms = 0;
   options.connect.attempts = 40;
   options.connect.backoff_ms = 10;
+  options.probe = {2, 1};  // probe fast so re-admission never stalls tests
   return options;
 }
 
@@ -592,9 +602,17 @@ TEST(DistCoordinator, RedispatchesWhenAWorkerDiesMidRun) {
   EXPECT_GE(stats.at("workers").at(0).at("retries").as_number(), 1);
 }
 
-TEST(DistCoordinator, LosingEveryWorkerAbortsTheRun) {
+TEST(DistCoordinator, LosingEveryWorkerAbortsTheRunWhenFallbackIsOff) {
+  // The worker accepts every connection and handshake but dies on every
+  // shard: quarantine, re-admission, another death — until the circuit
+  // breaker stops the probing. With the local fallback opted out, and a
+  // redispatch budget too large to exhaust first, the run must abort with
+  // the all-workers-lost error.
   FakeWorker dying(FakeWorker::Behaviour::kDieOnShard);
-  DseCoordinator coordinator({dying.address()}, fast_coordinator_options());
+  CoordinatorOptions options = fast_coordinator_options();
+  options.local_fallback = false;
+  options.redispatch.attempts = 10;
+  DseCoordinator coordinator({dying.address()}, options);
   try {
     coordinator.dse(small_dse_request());
     FAIL() << "expected the run to abort";
@@ -602,7 +620,97 @@ TEST(DistCoordinator, LosingEveryWorkerAbortsTheRun) {
     EXPECT_NE(std::string(e.what()).find("all workers lost"),
               std::string::npos);
   }
-  EXPECT_EQ(coordinator.stats_json().at("workers_lost").as_number(), 1);
+  const util::Json stats = coordinator.stats_json();
+  EXPECT_EQ(stats.at("workers_lost").as_number(), 1);
+  EXPECT_EQ(stats.at("local_fallback_shards").as_number(), 0);
+  EXPECT_GE(stats.at("workers").at(0).at("quarantined").as_number(), 1);
+}
+
+TEST(DistCoordinator, LocalFallbackFinishesTheRunWhenTheFleetDies) {
+  const api::DseRequest request = small_dse_request();
+  const api::Service reference(small_options());
+  const api::DseResponse expect = reference.dse(request);
+
+  // One worker, dead on its first shard, breaker tripped immediately: the
+  // coordinator must compute every remaining shard in-process — through
+  // the same dse_shard code the worker would run, so the merged result is
+  // still bit-identical.
+  FakeWorker dying(FakeWorker::Behaviour::kDieOnShard);
+  CoordinatorOptions options = fast_coordinator_options();
+  options.circuit_breaker_failures = 1;  // no re-admission attempts
+  DseCoordinator coordinator({dying.address()}, options);
+  expect_identical(coordinator.dse(request), expect);
+
+  const util::Json stats = coordinator.stats_json();
+  EXPECT_GT(stats.at("local_fallback_shards").as_number(), 0);
+  EXPECT_EQ(stats.at("workers_lost").as_number(), 1);
+  const util::Json& worker = stats.at("workers").at(0);
+  EXPECT_GE(worker.at("quarantined").as_number(), 1);
+  EXPECT_EQ(worker.at("readmitted").as_number(), 0);
+  EXPECT_EQ(worker.at("shards").as_number(), 0);
+  EXPECT_FALSE(worker.at("alive").as_bool());
+}
+
+TEST(DistCoordinator, ReadmitsAWorkerAfterAScriptedDrop) {
+  const api::DseRequest request = small_dse_request();
+  const api::Service reference(small_options());
+  const api::DseResponse expect = reference.dse(request);
+
+  // The worker's serve loop drops its connection on the 2nd request it
+  // ever sees (ordinal 1 is the handshake, ordinal 2 the first shard) and
+  // behaves from then on: the health prober's next handshake (ordinal 3)
+  // succeeds, the worker is re-admitted mid-run, and the sole-worker fleet
+  // still finishes remotely — no local fallback involved.
+  api::Service worker_service(small_options());
+  api::SocketServerOptions server_options;
+  server_options.serve.fault = std::make_shared<util::FaultInjector>(
+      util::FaultPlan::parse("at=2:drop"));
+  api::SocketServer server(worker_service, {api::parse_listen_address(":0")},
+                           server_options);
+  ServerRunner runner(server);
+
+  DseCoordinator coordinator({server.addresses()[0]},
+                             fast_coordinator_options());
+  expect_identical(coordinator.dse(request), expect);
+
+  const util::Json stats = coordinator.stats_json();
+  const util::Json& worker = stats.at("workers").at(0);
+  EXPECT_GE(worker.at("quarantined").as_number(), 1);
+  EXPECT_GE(worker.at("readmitted").as_number(), 1);
+  EXPECT_GE(worker.at("probes").as_number(), 1);
+  EXPECT_TRUE(worker.at("alive").as_bool());
+  EXPECT_GT(worker.at("shards").as_number(), 0);
+  EXPECT_GE(stats.at("redispatched").as_number(), 1);
+  EXPECT_EQ(stats.at("workers_lost").as_number(), 0);
+  EXPECT_EQ(stats.at("local_fallback_shards").as_number(), 0);
+}
+
+TEST(DistCoordinator, QuarantinesAnUnreachableWorkerAtRunStart) {
+  const api::DseRequest request = small_dse_request();
+  const api::Service reference(small_options());
+  const api::DseResponse expect = reference.dse(request);
+
+  // Nothing listens on the first address: the coordinator must quarantine
+  // it (one connect attempt, no 40-try stall) and run the whole grid on
+  // the reachable worker.
+  api::Service worker_service(small_options());
+  api::SocketServer server(worker_service, {api::parse_listen_address(":0")});
+  ServerRunner runner(server);
+  const api::ListenAddress absent = api::parse_listen_address(
+      ::testing::TempDir() + "rsp_dist_never.sock");
+
+  CoordinatorOptions options = fast_coordinator_options();
+  options.connect = {1, 0};           // absent means absent, immediately
+  options.circuit_breaker_failures = 1;  // don't re-probe it mid-run
+  DseCoordinator coordinator({absent, server.addresses()[0]}, options);
+  expect_identical(coordinator.dse(request), expect);
+
+  const util::Json stats = coordinator.stats_json();
+  EXPECT_EQ(stats.at("workers_lost").as_number(), 1);
+  EXPECT_GE(stats.at("workers").at(0).at("quarantined").as_number(), 1);
+  EXPECT_FALSE(stats.at("workers").at(0).at("alive").as_bool());
+  EXPECT_TRUE(stats.at("workers").at(1).at("alive").as_bool());
+  EXPECT_EQ(stats.at("local_fallback_shards").as_number(), 0);
 }
 
 TEST(DistCoordinator, InBandRejectionIsFatalNotRetried) {
@@ -631,10 +739,19 @@ TEST(DistCoordinator, ValidatesConstructionOptions) {
   bad.shard_points = 0;
   EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
   bad = CoordinatorOptions{};
-  bad.max_shard_attempts = 0;
+  bad.redispatch.attempts = 0;
   EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
   bad = CoordinatorOptions{};
   bad.request_timeout_ms = -1;
+  EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
+  bad = CoordinatorOptions{};
+  bad.probe.backoff_ms = -1;
+  EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
+  bad = CoordinatorOptions{};
+  bad.connect.attempts = 0;
+  EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
+  bad = CoordinatorOptions{};
+  bad.circuit_breaker_failures = 0;
   EXPECT_THROW(DseCoordinator(one, bad), InvalidArgumentError);
 }
 

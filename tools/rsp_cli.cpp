@@ -27,6 +27,7 @@
 #include "gen/generator.hpp"
 #include "ir/dot.hpp"
 #include "sim/machine.hpp"
+#include "util/fault.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -147,6 +148,7 @@ int cmd_explore(const std::vector<std::string>& args) {
   api::ServiceOptions options;
   options.max_inflight = 1;
   bool saw_threads = false;
+  bool local_fallback = true;
   std::vector<api::ListenAddress> workers;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--threads") {
@@ -159,23 +161,32 @@ int cmd_explore(const std::vector<std::string>& args) {
         throw InvalidArgumentError(
             "--workers requires a comma-separated list of addresses");
       workers = parse_worker_list(args[++i]);
+    } else if (args[i] == "--no-local-fallback") {
+      local_fallback = false;
     } else {
-      throw InvalidArgumentError("unknown flag '" + args[i] + "' for " +
-                                 args[0] +
-                                 " (--threads N, --workers a,b,...)");
+      throw InvalidArgumentError(
+          "unknown flag '" + args[i] + "' for " + args[0] +
+          " (--threads N, --workers a,b,..., --no-local-fallback)");
     }
   }
   if (saw_threads && !workers.empty())
     throw InvalidArgumentError(
         "--threads and --workers are exclusive: the pool runs locally, the "
         "workers run the grid remotely");
+  if (!local_fallback && workers.empty())
+    throw InvalidArgumentError(
+        "--no-local-fallback only applies with --workers (a local run has "
+        "nothing to fall back from)");
 
   api::DseResponse resp;
   if (workers.empty()) {
     const api::Service service(options);
     resp = service.dse({});
   } else {
-    dist::DseCoordinator coordinator(std::move(workers));
+    dist::CoordinatorOptions coordinator_options;
+    coordinator_options.local_fallback = local_fallback;
+    dist::DseCoordinator coordinator(std::move(workers),
+                                     coordinator_options);
     resp = coordinator.dse({});
   }
   const dse::Candidate& best = resp.result.best();
@@ -235,6 +246,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   std::vector<api::ListenAddress> listen;
   std::vector<api::ListenAddress> workers;
   bool saw_max_connections = false;
+  bool local_fallback = true;
+  bool saw_local_fallback = false;
   for (std::size_t i = 1; i < args.size(); ++i) {
     if (args[i] == "--workers") {
       if (i + 1 >= args.size())
@@ -266,11 +279,22 @@ int cmd_serve(const std::vector<std::string>& args) {
       server_options.max_connections =
           positive_int_flag("--max-connections", args[++i]);
       saw_max_connections = true;
+    } else if (args[i] == "--fault-plan") {
+      if (i + 1 >= args.size())
+        throw InvalidArgumentError(
+            "--fault-plan requires a spec (e.g. at=2:drop,seed=7:count=3)");
+      // Parse eagerly so a malformed plan fails the launch, not the run.
+      server_options.serve.fault = std::make_shared<util::FaultInjector>(
+          util::FaultPlan::parse(args[++i]));
+    } else if (args[i] == "--no-local-fallback") {
+      local_fallback = false;
+      saw_local_fallback = true;
     } else {
       throw InvalidArgumentError(
           "unknown flag '" + args[i] +
           "' for serve (--threads N, --max-inflight N, --cache-entries N, "
-          "--listen ADDR, --max-connections N, --workers a,b,...)");
+          "--listen ADDR, --max-connections N, --workers a,b,..., "
+          "--no-local-fallback, --fault-plan SPEC)");
     }
   }
 
@@ -278,6 +302,10 @@ int cmd_serve(const std::vector<std::string>& args) {
     throw InvalidArgumentError(
         "--max-connections only applies with --listen (the stdin/stdout "
         "pipe serves exactly one client)");
+  if (saw_local_fallback && workers.empty())
+    throw InvalidArgumentError(
+        "--no-local-fallback only applies with --workers (a local run has "
+        "nothing to fall back from)");
 
   api::Service service(options);
   // `--workers` turns this server into a distributed DSE front-end: dse
@@ -285,7 +313,10 @@ int cmd_serve(const std::vector<std::string>& args) {
   // and cache_stats grows a "dist" section with the fleet counters.
   std::unique_ptr<dist::DseCoordinator> coordinator;
   if (!workers.empty()) {
-    coordinator = std::make_unique<dist::DseCoordinator>(std::move(workers));
+    dist::CoordinatorOptions coordinator_options;
+    coordinator_options.local_fallback = local_fallback;
+    coordinator = std::make_unique<dist::DseCoordinator>(
+        std::move(workers), coordinator_options);
     service.set_dse_delegate([&coordinator](const api::DseRequest& request) {
       return coordinator->dse(request);
     });
@@ -294,7 +325,8 @@ int cmd_serve(const std::vector<std::string>& args) {
   }
   if (listen.empty()) {
     // Pipe transport: one client over stdin/stdout.
-    const api::ServeResult result = api::serve(service, std::cin, std::cout);
+    const api::ServeResult result =
+        api::serve(service, std::cin, std::cout, server_options.serve);
     if (!result.output_ok) {
       // Responses were lost to a dead output stream; the only channel left
       // for reporting it is stderr + the exit code.
@@ -539,24 +571,35 @@ int usage() {
          "  simulate <kernel> <arch> [--engine dense|event]\n"
          "                                    run on the cycle simulator, "
          "verify\n"
-         "  explore|dse [--threads N | --workers a,b,...]\n"
+         "  explore|dse [--threads N | --workers a,b,...] "
+         "[--no-local-fallback]\n"
          "                                    DSE over the full kernel "
          "domain, locally\n"
          "                                    or sharded across serve "
-         "workers\n"
+         "workers; lost\n"
+         "                                    workers are re-admitted, and "
+         "a lost fleet\n"
+         "                                    finishes locally unless "
+         "opted out\n"
          "  batch <requests.json> [--threads N] [--cache-entries N] "
          "[--pretty]\n"
          "                                    run a v1 batch document over "
          "the service\n"
          "  serve [--threads N] [--max-inflight N] [--cache-entries N]\n"
          "        [--listen <path|host:port>]... [--max-connections N]\n"
-         "        [--workers a,b,...]\n"
+         "        [--workers a,b,...] [--no-local-fallback]\n"
+         "        [--fault-plan SPEC]\n"
          "                                    stream v2 NDJSON requests "
          "stdin->stdout,\n"
          "                                    or serve concurrent socket "
          "clients;\n"
          "                                    --workers delegates dse to a "
-         "fleet\n"
+         "fleet;\n"
+         "                                    --fault-plan injects scripted "
+         "transport\n"
+         "                                    faults (docs/DISTRIBUTED.md) "
+         "for chaos\n"
+         "                                    tests\n"
          "  worker <path|host:port> [serve flags]\n"
          "                                    run a DSE worker (= serve "
          "--listen ADDR)\n"
