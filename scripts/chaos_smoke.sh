@@ -28,7 +28,9 @@ artifact_dir=${CHAOS_ARTIFACT_DIR:-$workdir}
 mkdir -p "$artifact_dir"
 worker_pid=
 cleanup() {
-  [ -n "$worker_pid" ] && kill "$worker_pid" 2>/dev/null || true
+  if [ -n "$worker_pid" ]; then
+    kill "$worker_pid" 2>/dev/null || true
+  fi
   rm -rf "$workdir"
 }
 trap cleanup EXIT INT TERM
@@ -71,8 +73,10 @@ fail_plan() {
 }
 
 stop_worker() {
-  [ -n "$worker_pid" ] && kill "$worker_pid" 2>/dev/null || true
-  wait "$worker_pid" 2>/dev/null || true
+  if [ -n "$worker_pid" ]; then
+    kill "$worker_pid" 2>/dev/null || true
+    wait "$worker_pid" 2>/dev/null || true
+  fi
   worker_pid=
 }
 

@@ -15,7 +15,9 @@ w2_pid=
 w3_pid=
 cleanup() {
   for pid in "$w1_pid" "$w2_pid" "$w3_pid"; do
-    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    if [ -n "$pid" ]; then
+      kill "$pid" 2>/dev/null || true
+    fi
   done
   rm -rf "$workdir"
 }

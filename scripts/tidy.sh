@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# clang-tidy over every first-party translation unit, with a content-hash
+# result cache so repeat runs (and the CI cache restore) only re-analyse
+# files whose preprocessed inputs could have changed.
+#
+#   scripts/tidy.sh [build dir] [cache dir]
+#
+# Degrades gracefully: when clang-tidy is not installed (the local dev
+# container ships only gcc) the script prints a notice and exits 0, so it
+# is always safe to wire into wrapper targets. CI installs clang-tidy and
+# gets the real run.
+#
+# Cache model: one marker file per source, named by the SHA-256 of the
+# .clang-tidy profile, the clang-tidy version banner, and the source file
+# content. A marker hit skips the invocation entirely. Header edits are
+# caught conservatively by folding every in-tree header's hash into each
+# key, so any header change invalidates the whole cache rather than
+# tracking include graphs.
+set -eu
+
+build_dir=${1:-build}
+cache_dir=${2:-"$build_dir/tidy-cache"}
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+cd "$repo_root"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy: clang-tidy not installed; skipping (CI runs the real check)"
+  exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "tidy: no compile_commands.json under $build_dir" >&2
+  exit 1
+fi
+
+hash_cmd="sha256sum"
+if ! command -v sha256sum >/dev/null 2>&1; then
+  hash_cmd="shasum -a 256"
+fi
+
+mkdir -p "$cache_dir"
+
+# Folded into every cache key: the profile, the tool version, and every
+# in-tree header (conservative include-graph invalidation).
+env_hash=$( { clang-tidy --version
+              cat .clang-tidy
+              find src tools bench -name '*.hpp' -type f | LC_ALL=C sort \
+                | xargs cat
+            } | $hash_cmd | cut -d' ' -f1 )
+
+sources=$(find src tools bench -name '*.cpp' -type f | LC_ALL=C sort)
+
+total=0
+analysed=0
+failed=0
+for source in $sources; do
+  total=$((total + 1))
+  file_hash=$( { printf '%s\n' "$env_hash"; cat "$source"; } \
+    | $hash_cmd | cut -d' ' -f1 )
+  marker="$cache_dir/$(printf '%s' "$source" | tr '/' '_').$file_hash"
+  if [ -f "$marker" ]; then
+    continue
+  fi
+  analysed=$((analysed + 1))
+  echo "tidy: $source"
+  if clang-tidy -p "$build_dir" --quiet "$source"; then
+    # Drop stale markers for this source before writing the fresh one.
+    rm -f "$cache_dir/$(printf '%s' "$source" | tr '/' '_')".*
+    : > "$marker"
+  else
+    failed=$((failed + 1))
+  fi
+done
+
+echo "tidy: $total sources, $analysed analysed, $((total - analysed)) cached, $failed failed"
+if [ "$failed" -gt 0 ]; then
+  exit 1
+fi

@@ -1,0 +1,247 @@
+#include "analysis/context_json.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+#include "ir/op.hpp"
+#include "util/error.hpp"
+
+namespace rsp::analysis {
+namespace {
+
+constexpr ir::OpKind kAllOpKinds[] = {
+    ir::OpKind::kConst, ir::OpKind::kLoad,  ir::OpKind::kStore,
+    ir::OpKind::kAdd,   ir::OpKind::kSub,   ir::OpKind::kMult,
+    ir::OpKind::kAbs,   ir::OpKind::kShift, ir::OpKind::kRoute,
+    ir::OpKind::kNop};
+
+ir::OpKind parse_op_kind(const std::string& name) {
+  for (const ir::OpKind kind : kAllOpKinds)
+    if (name == ir::op_name(kind)) return kind;
+  throw InvalidArgumentError("unknown op kind '" + name + "'");
+}
+
+std::int64_t as_i64(const util::Json& value, const std::string& what) {
+  const double d = value.as_number();
+  if (std::floor(d) != d || d < -9.0e18 || d > 9.0e18)
+    throw InvalidArgumentError(what + " must be an integer");
+  return static_cast<std::int64_t>(d);
+}
+
+void require_only(const util::Json& doc, const std::string& what,
+                  std::initializer_list<const char*> allowed) {
+  for (const std::string& key : doc.keys())
+    if (std::none_of(allowed.begin(), allowed.end(),
+                     [&](const char* a) { return key == a; }))
+      throw InvalidArgumentError("unknown field '" + key + "' in " + what);
+}
+
+arch::Architecture decode_architecture(const util::Json& doc) {
+  if (!doc.contains("arch"))
+    throw InvalidArgumentError("schedule document has no 'arch' field");
+  const util::Json& spec = doc.at("arch");
+  if (spec.is_string()) {
+    const int rows =
+        doc.contains("rows") ? doc.at("rows").as_int("rows") : 8;
+    const int cols =
+        doc.contains("cols") ? doc.at("cols").as_int("cols") : 8;
+    for (arch::Architecture& a : arch::standard_suite(rows, cols))
+      if (a.name == spec.as_string()) return a;
+    throw NotFoundError("unknown architecture '" + spec.as_string() +
+                        "' (Base, RS#1..RS#4, RSP#1..RSP#4)");
+  }
+  if (!spec.is_object())
+    throw InvalidArgumentError(
+        "'arch' must be a standard-suite name or a custom-geometry object");
+  require_only(spec, "'arch'",
+               {"name", "rows", "cols", "units_per_row", "units_per_col",
+                "stages"});
+  return arch::custom_architecture(
+      spec.contains("name") ? spec.at("name").as_string() : "custom",
+      spec.at("rows").as_int("rows"), spec.at("cols").as_int("cols"),
+      spec.at("units_per_row").as_int("units_per_row"),
+      spec.at("units_per_col").as_int("units_per_col"),
+      spec.at("stages").as_int("stages"));
+}
+
+sched::ProgOperand decode_operand(const util::Json& doc) {
+  if (!doc.is_object())
+    throw InvalidArgumentError("each operand must be an object");
+  require_only(doc, "operand", {"producer", "imm"});
+  sched::ProgOperand operand;
+  if (doc.contains("producer")) {
+    if (doc.contains("imm"))
+      throw InvalidArgumentError(
+          "an operand is either a producer reference or an immediate, not "
+          "both");
+    operand.producer = as_i64(doc.at("producer"), "producer");
+  } else if (doc.contains("imm")) {
+    operand.imm = as_i64(doc.at("imm"), "imm");
+  } else {
+    throw InvalidArgumentError("operand needs a 'producer' or 'imm' field");
+  }
+  return operand;
+}
+
+arch::SharedUnitId decode_unit(const util::Json& doc) {
+  if (!doc.is_object())
+    throw InvalidArgumentError("'unit' must be an object");
+  require_only(doc, "'unit'", {"pool", "line", "index"});
+  arch::SharedUnitId unit;
+  const std::string& pool = doc.at("pool").as_string();
+  if (pool == "row") {
+    unit.pool = arch::SharedUnitId::Pool::kRow;
+  } else if (pool == "col") {
+    unit.pool = arch::SharedUnitId::Pool::kColumn;
+  } else {
+    throw InvalidArgumentError("unit pool must be 'row' or 'col', got '" +
+                               pool + "'");
+  }
+  unit.line = doc.at("line").as_int("line");
+  unit.index = doc.at("index").as_int("index");
+  return unit;
+}
+
+sched::ScheduledOp decode_op(const util::Json& doc, std::size_t index) {
+  if (!doc.is_object())
+    throw InvalidArgumentError("op " + std::to_string(index) +
+                               " must be an object");
+  require_only(doc, "op " + std::to_string(index),
+               {"op", "pe", "cycle", "latency", "priority", "iter",
+                "operands", "order_deps", "imm", "array", "address", "unit"});
+  sched::ScheduledOp op;
+  op.kind = parse_op_kind(doc.at("op").as_string());
+  const util::Json& pe = doc.at("pe");
+  if (!pe.is_array() || pe.size() != 2)
+    throw InvalidArgumentError("op " + std::to_string(index) +
+                               " 'pe' must be a [row, col] pair");
+  op.pe.row = pe.at(std::size_t{0}).as_int("pe row");
+  op.pe.col = pe.at(std::size_t{1}).as_int("pe col");
+  op.cycle = doc.at("cycle").as_int("cycle");
+  if (doc.contains("latency")) op.latency = doc.at("latency").as_int("latency");
+  if (doc.contains("priority"))
+    op.priority = as_i64(doc.at("priority"), "priority");
+  if (doc.contains("iter")) op.iter = as_i64(doc.at("iter"), "iter");
+  if (doc.contains("operands")) {
+    const util::Json& operands = doc.at("operands");
+    if (!operands.is_array())
+      throw InvalidArgumentError("'operands' must be an array");
+    for (std::size_t i = 0; i < operands.size(); ++i)
+      op.operands.push_back(decode_operand(operands.at(i)));
+  }
+  if (doc.contains("order_deps")) {
+    const util::Json& deps = doc.at("order_deps");
+    if (!deps.is_array())
+      throw InvalidArgumentError("'order_deps' must be an array");
+    for (std::size_t i = 0; i < deps.size(); ++i)
+      op.order_deps.push_back(as_i64(deps.at(i), "order_deps entry"));
+  }
+  if (doc.contains("imm")) op.imm = as_i64(doc.at("imm"), "imm");
+  if (doc.contains("array")) op.array = doc.at("array").as_string();
+  if (doc.contains("address"))
+    op.address = as_i64(doc.at("address"), "address");
+  if (doc.contains("unit")) op.unit = decode_unit(doc.at("unit"));
+  return op;
+}
+
+}  // namespace
+
+ScheduleDocument decode_schedule(const util::Json& doc) {
+  if (!doc.is_object())
+    throw InvalidArgumentError("schedule document must be a JSON object");
+  require_only(doc, "schedule document", {"arch", "rows", "cols", "ops"});
+  ScheduleDocument out;
+  out.architecture = decode_architecture(doc);
+  if (!doc.contains("ops"))
+    throw InvalidArgumentError("schedule document has no 'ops' field");
+  const util::Json& ops = doc.at("ops");
+  if (!ops.is_array())
+    throw InvalidArgumentError("'ops' must be an array");
+  for (std::size_t i = 0; i < ops.size(); ++i)
+    out.ops.push_back(decode_op(ops.at(i), i));
+  return out;
+}
+
+ScheduleDocument parse_schedule(const std::string& text) {
+  return decode_schedule(util::Json::parse(text));
+}
+
+util::Json encode_schedule(const arch::Architecture& architecture,
+                           const std::vector<sched::ScheduledOp>& ops) {
+  util::Json doc = util::Json::object();
+  // A standard-suite architecture round-trips by name; anything else (e.g.
+  // a custom_architecture DSE point) is spelled out as geometry.
+  bool standard = false;
+  for (const arch::Architecture& a : arch::standard_suite(
+           architecture.array.rows, architecture.array.cols))
+    if (a.name == architecture.name && a.array == architecture.array &&
+        a.sharing == architecture.sharing) {
+      standard = true;
+      break;
+    }
+  if (standard) {
+    doc.set("arch", architecture.name);
+    if (architecture.array.rows != 8) doc.set("rows", architecture.array.rows);
+    if (architecture.array.cols != 8) doc.set("cols", architecture.array.cols);
+  } else {
+    util::Json spec = util::Json::object();
+    spec.set("name", architecture.name);
+    spec.set("rows", architecture.array.rows);
+    spec.set("cols", architecture.array.cols);
+    spec.set("units_per_row", architecture.sharing.units_per_row);
+    spec.set("units_per_col", architecture.sharing.units_per_col);
+    spec.set("stages", architecture.sharing.pipeline_stages);
+    doc.set("arch", std::move(spec));
+  }
+
+  util::Json list = util::Json::array();
+  for (const sched::ScheduledOp& op : ops) {
+    util::Json entry = util::Json::object();
+    entry.set("op", ir::op_name(op.kind));
+    util::Json pe = util::Json::array();
+    pe.push(op.pe.row);
+    pe.push(op.pe.col);
+    entry.set("pe", std::move(pe));
+    entry.set("cycle", op.cycle);
+    if (op.latency != 1) entry.set("latency", op.latency);
+    if (op.priority != 0) entry.set("priority", op.priority);
+    if (op.iter != -1) entry.set("iter", op.iter);
+    if (!op.operands.empty()) {
+      util::Json operands = util::Json::array();
+      for (const sched::ProgOperand& o : op.operands) {
+        util::Json operand = util::Json::object();
+        if (o.is_imm()) {
+          operand.set("imm", o.imm);
+        } else {
+          operand.set("producer", o.producer);
+        }
+        operands.push(std::move(operand));
+      }
+      entry.set("operands", std::move(operands));
+    }
+    if (!op.order_deps.empty()) {
+      util::Json deps = util::Json::array();
+      for (const sched::ProgIndex dep : op.order_deps) deps.push(dep);
+      entry.set("order_deps", std::move(deps));
+    }
+    if (op.imm != 0) entry.set("imm", op.imm);
+    if (!op.array.empty()) entry.set("array", op.array);
+    if (op.address != 0) entry.set("address", op.address);
+    if (op.unit) {
+      util::Json unit = util::Json::object();
+      unit.set("pool",
+               op.unit->pool == arch::SharedUnitId::Pool::kRow ? "row"
+                                                               : "col");
+      unit.set("line", op.unit->line);
+      unit.set("index", op.unit->index);
+      entry.set("unit", std::move(unit));
+    }
+    list.push(std::move(entry));
+  }
+  doc.set("ops", std::move(list));
+  return doc;
+}
+
+}  // namespace rsp::analysis

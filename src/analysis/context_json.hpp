@@ -1,0 +1,45 @@
+// JSON (de)serialization of an architecture + scheduled-op list, so the
+// linter can check programs that never went through the in-process
+// toolchain: hand-written schedules, fuzzer repros, arbitrary
+// `custom_architecture` points.
+//
+// Document shape (docs/ANALYSIS.md):
+//   {"arch": "RSP#1",              // standard-suite name, or an object:
+//    // {"rows": 4, "cols": 4, "units_per_row": 1, "units_per_col": 0,
+//    //  "stages": 2}
+//    "ops": [{"op": "mult", "pe": [row, col], "cycle": 0, "latency": 2,
+//             "operands": [{"producer": 0}, {"imm": 5}],
+//             "unit": {"pool": "row", "line": 0, "index": 0},   // optional
+//             "array": "A", "address": 3,   // memory ops
+//             "imm": 0, "iter": 0}, ...]}
+//
+// The decoder is deliberately permissive about *semantic* legality — that
+// is the linter's job — and strict about document structure (unknown keys,
+// wrong types and malformed references all throw InvalidArgumentError).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/presets.hpp"
+#include "sched/context.hpp"
+#include "util/json.hpp"
+
+namespace rsp::analysis {
+
+/// A decoded lint subject: the architecture plus the raw op list (kept raw
+/// so illegal cycles/latencies survive to `lint_schedule`).
+struct ScheduleDocument {
+  arch::Architecture architecture;
+  std::vector<sched::ScheduledOp> ops;
+};
+
+ScheduleDocument decode_schedule(const util::Json& doc);
+ScheduleDocument parse_schedule(const std::string& text);
+
+/// Inverse of decode_schedule; round-trips bit-exactly for any context
+/// (standard-suite architectures encode as their name).
+util::Json encode_schedule(const arch::Architecture& architecture,
+                           const std::vector<sched::ScheduledOp>& ops);
+
+}  // namespace rsp::analysis

@@ -213,6 +213,15 @@ Request decode_v2_request(const util::Json& doc) {
     }
     return request;
   }
+  if (op == "lint") {
+    require_known_fields(doc, op, {"kernel", "arch"});
+    LintRequest request;
+    if (doc.contains("kernel"))
+      request.kernel = require_string(doc, "kernel", op);
+    if (doc.contains("arch"))
+      request.arch = require_string(doc, "arch", op);
+    return request;
+  }
   if (op == "rtl") {
     require_known_fields(doc, op, {"arch"});
     RtlRequest request;
@@ -274,7 +283,7 @@ Request decode_v2_request(const util::Json& doc) {
   throw InvalidArgumentError(
       "unknown op '" + op +
       "' (expected one of: list, eval, dse, map, simulate, simulate_batch, "
-      "rtl, dot, vcd, bitstream, cache_stats, cache_save, cache_load, "
+      "lint, rtl, dot, vcd, bitstream, cache_stats, cache_save, cache_load, "
       "ping, dse_shard, worker_info)");
 }
 
@@ -380,6 +389,23 @@ util::Json to_body(const SimulateBatchResponse& resp) {
   util::Json body = ok_body("simulate_batch");
   body.set("kernel", resp.kernel)
       .set("engine", resp.engine)
+      .set("results", std::move(rows));
+  return body;
+}
+
+util::Json to_body(const LintResponse& resp) {
+  util::Json rows = util::Json::array();
+  for (const LintResponse::Row& row : resp.rows) {
+    util::Json entry = util::Json::object();
+    entry.set("kernel", row.kernel).set("arch", row.arch);
+    // {"errors", "warnings", "diagnostics"} merged flat into the row.
+    entry.merge(row.report.to_json());
+    rows.push(std::move(entry));
+  }
+  util::Json body = ok_body("lint");
+  body.set("clean", resp.clean())
+      .set("errors", resp.error_count())
+      .set("warnings", resp.warning_count())
       .set("results", std::move(rows));
   return body;
 }

@@ -48,6 +48,7 @@ util::Json to_body(const DseResponse&);
 util::Json to_body(const MapResponse&);
 util::Json to_body(const SimulateResponse&);
 util::Json to_body(const SimulateBatchResponse&);
+util::Json to_body(const LintResponse&);
 util::Json to_body(const RtlResponse&);
 util::Json to_body(const DotResponse&);
 util::Json to_body(const VcdResponse&);

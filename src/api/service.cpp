@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "analysis/verifier.hpp"
 #include "api/protocol.hpp"
 #include "arch/bitstream.hpp"
 #include "arch/presets.hpp"
@@ -161,6 +162,56 @@ WorkerInfoResponse Service::worker_info(const WorkerInfoRequest&) const {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start_)
           .count());
+  return resp;
+}
+
+int LintResponse::error_count() const {
+  int n = 0;
+  for (const Row& row : rows) n += row.report.error_count();
+  return n;
+}
+
+int LintResponse::warning_count() const {
+  int n = 0;
+  for (const Row& row : rows) n += row.report.warning_count();
+  return n;
+}
+
+LintResponse Service::lint(const LintRequest& request) const {
+  std::vector<kernels::Workload> domain;
+  if (request.kernel.empty()) {
+    domain = catalogue_;
+  } else {
+    domain.push_back(workload(request.kernel));
+  }
+  LintResponse resp;
+  for (const kernels::Workload& w : domain) {
+    std::vector<arch::Architecture> archs;
+    if (request.arch.empty()) {
+      archs = arch::standard_suite(w.array.rows, w.array.cols);
+    } else {
+      archs.push_back(architecture(request.arch, w.array.rows, w.array.cols));
+    }
+    for (const arch::Architecture& a : archs) {
+      LintResponse::Row row;
+      row.kernel = w.name;
+      row.arch = a.name;
+      try {
+        row.report =
+            analysis::lint_context(schedule_for(w, a));
+      } catch (const std::exception& e) {
+        // Mapping/scheduling died before a context existed (e.g. the
+        // scheduler cannot place the kernel on this architecture) — a
+        // toolchain finding, reported in-band like every other rule.
+        row.report.diagnostics.push_back(analysis::Diagnostic{
+            "RSP-T001", analysis::Severity::kError, analysis::Locus{},
+            e.what(),
+            "the toolchain rejected this (kernel, architecture) pair before "
+            "a schedule existed"});
+      }
+      resp.rows.push_back(std::move(row));
+    }
+  }
   return resp;
 }
 
@@ -378,6 +429,9 @@ SimulateResponse dispatch_typed(const Service& s, const SimulateRequest& r) {
 SimulateBatchResponse dispatch_typed(const Service& s,
                                      const SimulateBatchRequest& r) {
   return s.simulate_batch(r);
+}
+LintResponse dispatch_typed(const Service& s, const LintRequest& r) {
+  return s.lint(r);
 }
 RtlResponse dispatch_typed(const Service& s, const RtlRequest& r) {
   return s.rtl(r);

@@ -29,6 +29,7 @@
 #include <variant>
 #include <vector>
 
+#include "analysis/diagnostics.hpp"
 #include "core/evaluator.hpp"
 #include "dse/explorer.hpp"
 #include "kernels/workload.hpp"
@@ -100,6 +101,15 @@ struct BitstreamRequest {
   std::string arch;
 };
 
+/// Static verification (analysis::lint_context) of the scheduled context a
+/// kernel compiles to. Empty `kernel` lints the full catalogue; empty
+/// `arch` lints across the full standard suite — `{}` is "lint
+/// everything".
+struct LintRequest {
+  std::string kernel;
+  std::string arch;
+};
+
 struct CacheStatsRequest {};
 
 struct CacheSaveRequest {
@@ -166,10 +176,10 @@ struct WorkerInfoResponse {
 /// requests into this variant.
 using Request =
     std::variant<ListRequest, EvalRequest, DseRequest, MapRequest,
-                 SimulateRequest, SimulateBatchRequest, RtlRequest,
-                 DotRequest, VcdRequest, BitstreamRequest, CacheStatsRequest,
-                 CacheSaveRequest, CacheLoadRequest, PingRequest,
-                 DseShardRequest, WorkerInfoRequest>;
+                 SimulateRequest, SimulateBatchRequest, LintRequest,
+                 RtlRequest, DotRequest, VcdRequest, BitstreamRequest,
+                 CacheStatsRequest, CacheSaveRequest, CacheLoadRequest,
+                 PingRequest, DseShardRequest, WorkerInfoRequest>;
 
 // ----------------------------------------------------------- response types
 
@@ -216,6 +226,23 @@ struct SimulateBatchResponse {
   std::string kernel;
   std::string engine;
   std::vector<SimulateResponse> rows;  ///< requested order
+};
+
+struct LintResponse {
+  /// One linted (kernel, architecture) pair. `report` is empty except for
+  /// its findings when the toolchain itself failed — then the failure is
+  /// surfaced as a single RSP-T001 error diagnostic instead of a thrown
+  /// exception, so one bad pair cannot hide the rest of a catalogue lint.
+  struct Row {
+    std::string kernel;
+    std::string arch;
+    analysis::LintReport report;
+  };
+  std::vector<Row> rows;  ///< kernel-major, suite order within a kernel
+
+  int error_count() const;
+  int warning_count() const;
+  bool clean() const { return error_count() == 0; }
 };
 
 struct RtlResponse {
@@ -298,6 +325,7 @@ class Service {
   MapResponse map(const MapRequest&) const;
   SimulateResponse simulate(const SimulateRequest&) const;
   SimulateBatchResponse simulate_batch(const SimulateBatchRequest&) const;
+  LintResponse lint(const LintRequest&) const;
   RtlResponse rtl(const RtlRequest&) const;
   DotResponse dot(const DotRequest&) const;
   VcdResponse vcd(const VcdRequest&) const;

@@ -17,7 +17,6 @@
 #include <csignal>
 #include <cstring>
 #include <istream>
-#include <mutex>
 #include <ostream>
 #include <thread>
 #include <unordered_map>
@@ -25,6 +24,7 @@
 
 #include "api/protocol.hpp"
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 
 namespace rsp::api {
 
@@ -269,12 +269,14 @@ struct SocketServer::Impl {
 
   // Guards connections/finished/stats; cv signals connection exits so the
   // drain can wait for the map to empty without spinning.
-  mutable std::mutex mu;
-  std::condition_variable cv;
-  std::unordered_map<std::uint64_t, Connection> connections;
-  std::vector<std::thread> finished;  ///< exited threads awaiting join
-  std::uint64_t next_connection_id = 0;
-  SocketServerStats stats;
+  mutable util::Mutex mu;
+  std::condition_variable_any cv;
+  std::unordered_map<std::uint64_t, Connection> connections
+      RSP_GUARDED_BY(mu);
+  /// Exited threads awaiting join.
+  std::vector<std::thread> finished RSP_GUARDED_BY(mu);
+  std::uint64_t next_connection_id RSP_GUARDED_BY(mu) = 0;
+  SocketServerStats stats RSP_GUARDED_BY(mu);
 
   Impl(Service& s, SocketServerOptions o)
       : service(s), options(std::move(o)) {}
@@ -426,7 +428,7 @@ struct SocketServer::Impl {
     // connection trying to release its slot.
     std::string refusal;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       if (stopping.load(std::memory_order_acquire)) {
         // Raced with shutdown: this connection would never be drained.
         ::close(client_fd);
@@ -475,7 +477,7 @@ struct SocketServer::Impl {
       // rethrows after draining); the client simply sees the close below.
     }
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       stats.requests += result.requests;
       stats.errors += result.errors;
       const auto it = connections.find(id);
@@ -495,7 +497,7 @@ struct SocketServer::Impl {
   void reap_finished() {
     std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       to_join.swap(finished);
     }
     for (std::thread& t : to_join) t.join();
@@ -511,15 +513,17 @@ struct SocketServer::Impl {
   // output-failed path.
   void drain() {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      const util::MutexLock lock(mu);
       for (auto& [id, connection] : connections)
         ::shutdown(connection.fd, SHUT_RD);
     }
     {
-      std::unique_lock<std::mutex> lock(mu);
+      util::MutexLock lock(mu);
       bool forced = false;
-      while (!cv.wait_for(lock, std::chrono::milliseconds(200),
-                          [this] { return connections.empty(); })) {
+      while (!lock.wait_for(cv, std::chrono::milliseconds(200),
+                            [this]() RSP_REQUIRES(mu) {
+                              return connections.empty();
+                            })) {
         if (forced || !force_stop.load(std::memory_order_acquire)) continue;
         forced = true;
         for (auto& [id, connection] : connections)
@@ -667,7 +671,7 @@ void SocketServer::run() {
 }
 
 SocketServerStats SocketServer::stats() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  const util::MutexLock lock(impl_->mu);
   SocketServerStats stats = impl_->stats;
   stats.active = impl_->connections.size();
   return stats;

@@ -62,18 +62,20 @@ struct DseCoordinator::Shard {
 /// quarantine events wake it, and it appends re-admitted links and their
 /// worker threads under the same lock.
 struct DseCoordinator::PhaseState {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Shard> queue;
+  util::Mutex mu;
+  std::condition_variable_any cv;
+  std::deque<Shard> queue RSP_GUARDED_BY(mu);
   /// Shards out of remote attempts (or stranded when every worker was
   /// lost), destined for the in-process fallback after the joins.
-  std::deque<Shard> local_queue;
-  std::size_t pending = 0;  ///< shards queued or in flight *remotely*
-  int active_workers = 0;
-  bool failed = false;
-  std::string error;
-  std::string last_loss;  ///< most recent transport failure, for messages
-  long redispatched = 0;
+  std::deque<Shard> local_queue RSP_GUARDED_BY(mu);
+  /// Shards queued or in flight *remotely*.
+  std::size_t pending RSP_GUARDED_BY(mu) = 0;
+  int active_workers RSP_GUARDED_BY(mu) = 0;
+  bool failed RSP_GUARDED_BY(mu) = false;
+  std::string error RSP_GUARDED_BY(mu);
+  /// Most recent transport failure, for messages.
+  std::string last_loss RSP_GUARDED_BY(mu);
+  long redispatched RSP_GUARDED_BY(mu) = 0;
   /// op/kernels/config/mode — identical for every shard of the phase;
   /// begin/end and the envelope are stamped per request.
   util::Json request_template;
@@ -90,7 +92,7 @@ struct DseCoordinator::PhaseState {
   std::deque<WorkerLink>* links = nullptr;
   /// Every worker thread of the phase, the prober's re-admissions
   /// included; grows only under `mu`, joined after the prober exits.
-  std::vector<std::thread> threads;
+  std::vector<std::thread> threads RSP_GUARDED_BY(mu);
 };
 
 DseCoordinator::DseCoordinator(std::vector<api::ListenAddress> workers,
@@ -171,7 +173,7 @@ DseCoordinator::LinkResult DseCoordinator::open_link(
     pid = static_cast<long>(info.at("pid").as_number());
   link.alive = true;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     WorkerStats& stats = worker_stats_[index];
     if (pid != 0 && stats.last_pid != 0 && stats.last_pid != pid)
       RSP_LOG(kInfo) << "worker '" << link.address.spec()
@@ -201,7 +203,7 @@ std::deque<DseCoordinator::WorkerLink> DseCoordinator::connect_workers() {
         // Unreachable is a fleet-health event, not a run-fatal one: the
         // health prober keeps trying mid-run, and the survivors (or the
         // local fallback) carry the shards meanwhile.
-        std::lock_guard<std::mutex> lk(mu_);
+        const util::MutexLock lk(mu_);
         WorkerStats& stats = worker_stats_[i];
         if (!stats.in_quarantine) {
           stats.in_quarantine = true;
@@ -216,7 +218,7 @@ std::deque<DseCoordinator::WorkerLink> DseCoordinator::connect_workers() {
         continue;
       }
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        const util::MutexLock lk(mu_);
         worker_stats_[i].in_quarantine = false;
       }
       ++connected;
@@ -273,11 +275,12 @@ bool DseCoordinator::round_trip(WorkerLink& link, util::Json request,
   return true;
 }
 
-void DseCoordinator::quarantine_worker(WorkerLink& link, PhaseState& state) {
+void DseCoordinator::quarantine_worker(WorkerLink& link, PhaseState& state)
+    RSP_REQUIRES(state.mu) {
   link.alive = false;
   --state.active_workers;
   state.last_loss = link.last_error;
-  std::lock_guard<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   WorkerStats& stats = worker_stats_[link.index];
   if (!stats.in_quarantine) {
     stats.in_quarantine = true;
@@ -291,8 +294,8 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
   for (;;) {
     Shard shard;
     {
-      std::unique_lock<std::mutex> lk(state.mu);
-      state.cv.wait(lk, [&] {
+      util::MutexLock lk(state.mu);
+      lk.wait(state.cv, [&]() RSP_REQUIRES(state.mu) {
         return state.failed || !state.queue.empty() || state.pending == 0;
       });
       // Queue empty with nothing in flight = phase done; an in-flight
@@ -316,7 +319,7 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
       const std::string shard_name = "shard [" +
                                      std::to_string(shard.begin) + ", " +
                                      std::to_string(shard.end) + ")";
-      std::lock_guard<std::mutex> lk(state.mu);
+      const util::MutexLock lk(state.mu);
       ++link.retries;
       quarantine_worker(link, state);
       ++shard.attempts;
@@ -343,7 +346,7 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
       return;
     }
 
-    std::lock_guard<std::mutex> lk(state.mu);
+    const util::MutexLock lk(state.mu);
     if (state.failed) return;
     try {
       // An in-band rejection is fatal, not retryable: shard requests are
@@ -371,7 +374,7 @@ void DseCoordinator::worker_loop(WorkerLink& link, PhaseState& state) {
     {
       // A completed shard is the one event that resets the circuit
       // breaker: the worker proved it can do real work again.
-      std::lock_guard<std::mutex> stats_lk(mu_);
+      const util::MutexLock stats_lk(mu_);
       worker_stats_[link.index].consecutive_failures = 0;
     }
     state.cv.notify_all();
@@ -389,7 +392,7 @@ void DseCoordinator::prober_loop(PhaseState& state) {
   };
   std::unordered_map<std::size_t, Slot> slots;
 
-  std::unique_lock<std::mutex> lk(state.mu);
+  util::MutexLock lk(state.mu);
   for (;;) {
     if (state.failed || state.pending == 0) return;
 
@@ -397,7 +400,7 @@ void DseCoordinator::prober_loop(PhaseState& state) {
     // inside state.mu).
     std::vector<std::size_t> candidates;
     {
-      std::lock_guard<std::mutex> stats_lk(mu_);
+      const util::MutexLock stats_lk(mu_);
       for (std::size_t i = 0; i < addresses_.size(); ++i) {
         const WorkerStats& stats = worker_stats_[i];
         if (!stats.in_quarantine) continue;
@@ -424,13 +427,13 @@ void DseCoordinator::prober_loop(PhaseState& state) {
       if (!candidates.empty()) {
         // Everyone eligible is backing off; sleep until the earliest
         // probe comes due (or the phase resolves).
-        state.cv.wait_until(lk, earliest);
+        lk.wait_until(state.cv, earliest);
         continue;
       }
       if (state.active_workers > 0) {
         // Nothing to probe while the survivors work; a quarantine event
         // or the end of the phase wakes us.
-        state.cv.wait(lk);
+        lk.wait(state.cv);
         continue;
       }
       // Endgame: every worker is lost (or breaker-open, or out of probe
@@ -455,7 +458,7 @@ void DseCoordinator::prober_loop(PhaseState& state) {
     Slot& slot = slots[due];
     ++slot.attempts;
     {
-      std::lock_guard<std::mutex> stats_lk(mu_);
+      const util::MutexLock stats_lk(mu_);
       ++worker_stats_[due].probes;
     }
     lk.unlock();
@@ -470,7 +473,7 @@ void DseCoordinator::prober_loop(PhaseState& state) {
       state.links->push_back(std::move(fresh));
       WorkerLink& link = state.links->back();
       {
-        std::lock_guard<std::mutex> stats_lk(mu_);
+        const util::MutexLock stats_lk(mu_);
         WorkerStats& stats = worker_stats_[due];
         stats.in_quarantine = false;
         ++stats.readmitted;
@@ -504,8 +507,15 @@ void DseCoordinator::prober_loop(PhaseState& state) {
 
 void DseCoordinator::run_phase(std::deque<WorkerLink>& links,
                                PhaseState& state, const char* phase) {
-  if (state.queue.empty()) return;
-  state.pending = state.queue.size();
+  // The locks below this point are uncontended until the worker threads
+  // start (and again after the joins) — they exist so every access to the
+  // phase's guarded state is under state.mu, which is what the
+  // thread-safety analysis checks.
+  {
+    const util::MutexLock lk(state.mu);
+    if (state.queue.empty()) return;
+    state.pending = state.queue.size();
+  }
   state.links = &links;
   std::vector<WorkerLink*> alive;
   for (WorkerLink& link : links)
@@ -518,6 +528,7 @@ void DseCoordinator::run_phase(std::deque<WorkerLink>& links,
     if (!options_.local_fallback)
       throw Error(std::string("no live workers left for the ") + phase +
                   " phase");
+    const util::MutexLock lk(state.mu);
     while (!state.queue.empty()) {
       state.local_queue.push_back(state.queue.front());
       state.queue.pop_front();
@@ -525,7 +536,7 @@ void DseCoordinator::run_phase(std::deque<WorkerLink>& links,
     state.pending = 0;
   } else {
     {
-      std::lock_guard<std::mutex> lk(state.mu);
+      const util::MutexLock lk(state.mu);
       state.active_workers = static_cast<int>(alive.size());
       state.threads.reserve(alive.size() + 1);
       for (WorkerLink* link : alive)
@@ -535,18 +546,27 @@ void DseCoordinator::run_phase(std::deque<WorkerLink>& links,
     std::thread prober([this, &state] { prober_loop(state); });
     // The prober exits only once the phase is resolved (done, failed, or
     // handed to the local fallback), so after this join the thread vector
-    // is final and every worker thread is on its way out.
+    // is final and every worker thread is on its way out. The joins happen
+    // outside state.mu — a worker's last iteration still takes it.
     prober.join();
-    for (std::thread& t : state.threads) t.join();
+    std::vector<std::thread> to_join;
+    {
+      const util::MutexLock lk(state.mu);
+      to_join.swap(state.threads);
+    }
+    for (std::thread& t : to_join) t.join();
   }
 
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    redispatched_ += state.redispatched;
+    const util::MutexLock lk(state.mu);
+    {
+      const util::MutexLock stats_lk(mu_);
+      redispatched_ += state.redispatched;
+    }
+    if (state.failed)
+      throw Error(std::string("distributed ") + phase +
+                  " phase failed: " + state.error);
   }
-  if (state.failed)
-    throw Error(std::string("distributed ") + phase +
-                " phase failed: " + state.error);
   drain_locally(state, phase);
 }
 
@@ -557,6 +577,9 @@ api::Service& DseCoordinator::local_service() {
 }
 
 void DseCoordinator::drain_locally(PhaseState& state, const char* phase) {
+  // Single-threaded by the time this runs (run_phase joined everything);
+  // the lock satisfies the guarded-access contract at zero contention.
+  const util::MutexLock lk(state.mu);
   if (state.local_queue.empty()) return;
   RSP_LOG(kWarning) << "computing " << state.local_queue.size() << " "
                     << phase << " shard(s) locally (fleet unavailable)";
@@ -572,13 +595,13 @@ void DseCoordinator::drain_locally(PhaseState& state, const char* phase) {
     // the exact path a remote response would take, validation included —
     // bit-identity is inherited, not re-proven.
     state.apply(shard, api::to_body(service.dse_shard(request)));
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock stats_lk(mu_);
     ++local_fallback_shards_;
   }
 }
 
 void DseCoordinator::fold_stats(const std::deque<WorkerLink>& links) {
-  std::lock_guard<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   ++runs_;
   for (const WorkerLink& link : links) {
     WorkerStats& stats = worker_stats_[link.index];
@@ -621,7 +644,7 @@ long integer_field(const util::Json& doc, std::size_t index,
 }  // namespace
 
 api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const util::MutexLock run_lock(run_mu_);
 
   // Resolve the domain exactly as Service::dse does (empty = the paper
   // suite), so coordinator and workers agree on the run by construction —
@@ -659,9 +682,12 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
       state.exact = false;
       const auto shard_points =
           static_cast<std::size_t>(options_.shard_points);
-      for (std::size_t lo = 0; lo < points.size(); lo += shard_points)
-        state.queue.push_back(
-            {lo, std::min(lo + shard_points, points.size()), 0});
+      {
+        const util::MutexLock lk(state.mu);
+        for (std::size_t lo = 0; lo < points.size(); lo += shard_points)
+          state.queue.push_back(
+              {lo, std::min(lo + shard_points, points.size()), 0});
+      }
       state.apply = [&](const Shard& shard, const util::Json& body) {
         const util::Json& est = body.at("estimated_cycles");
         if (!est.is_array() || est.size() != shard.end - shard.begin)
@@ -713,8 +739,12 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
       state.kernels = resp.kernels;
       state.config = request.config;
       state.exact = true;
-      for (std::size_t i = 0; i < result.candidates.size(); ++i)
-        if (result.candidates[i].pareto) state.queue.push_back({i, i + 1, 0});
+      {
+        const util::MutexLock lk(state.mu);
+        for (std::size_t i = 0; i < result.candidates.size(); ++i)
+          if (result.candidates[i].pareto)
+            state.queue.push_back({i, i + 1, 0});
+      }
       state.apply = [&](const Shard& shard, const util::Json& body) {
         const util::Json& cycles = body.at("cycles");
         const util::Json& stalls = body.at("stalls");
@@ -767,7 +797,7 @@ api::DseResponse DseCoordinator::dse(const api::DseRequest& request) {
 }
 
 util::Json DseCoordinator::stats_json() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   util::Json workers = util::Json::array();
   for (std::size_t i = 0; i < addresses_.size(); ++i) {
     const WorkerStats& stats = worker_stats_[i];

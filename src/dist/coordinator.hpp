@@ -52,13 +52,13 @@
 
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/service.hpp"
 #include "api/socket_server.hpp"
 #include "util/json.hpp"
+#include "util/mutex.hpp"
 #include "util/retry.hpp"
 
 namespace rsp::dist {
@@ -144,7 +144,7 @@ class DseCoordinator {
                        WorkerLink& link, std::string& error);
   std::deque<WorkerLink> connect_workers();
   void run_phase(std::deque<WorkerLink>& links, PhaseState& state,
-                 const char* phase);
+                 const char* phase) RSP_REQUIRES(run_mu_);
   void worker_loop(WorkerLink& link, PhaseState& state);
   /// The per-phase health prober: re-admits quarantined workers mid-run,
   /// and resolves the all-workers-lost endgame (local fallback or abort).
@@ -156,8 +156,9 @@ class DseCoordinator {
   void quarantine_worker(WorkerLink& link, PhaseState& state);
   /// Computes state.local_queue in-process through Service::dse_shard and
   /// the phase's own apply — the byte-identical fallback path.
-  void drain_locally(PhaseState& state, const char* phase);
-  api::Service& local_service();
+  void drain_locally(PhaseState& state, const char* phase)
+      RSP_REQUIRES(run_mu_);
+  api::Service& local_service() RSP_REQUIRES(run_mu_);
   void fold_stats(const std::deque<WorkerLink>& links);
 
   const std::vector<api::ListenAddress> addresses_;
@@ -165,9 +166,9 @@ class DseCoordinator {
 
   /// Serializes runs: one grid-wide pull queue at a time keeps the
   /// failure/redispatch accounting legible.
-  std::mutex run_mu_;
-  /// Lazily created on first local fallback; guarded by run_mu_.
-  std::unique_ptr<api::Service> local_service_;
+  util::Mutex run_mu_;
+  /// Lazily created on first local fallback.
+  std::unique_ptr<api::Service> local_service_ RSP_GUARDED_BY(run_mu_);
 
   /// Cross-run aggregates for stats_json(). Guarded by mu_, which nests
   /// *inside* PhaseState::mu — never take state.mu while holding mu_.
@@ -185,13 +186,13 @@ class DseCoordinator {
     long last_pid = 0;           ///< last handshake pid (restart detection)
     bool alive = true;           ///< connected and serving right now
   };
-  mutable std::mutex mu_;
-  std::vector<WorkerStats> worker_stats_;
-  long runs_ = 0;
-  long shards_ = 0;
-  long redispatched_ = 0;
-  long workers_lost_ = 0;
-  long local_fallback_shards_ = 0;
+  mutable util::Mutex mu_;
+  std::vector<WorkerStats> worker_stats_ RSP_GUARDED_BY(mu_);
+  long runs_ RSP_GUARDED_BY(mu_) = 0;
+  long shards_ RSP_GUARDED_BY(mu_) = 0;
+  long redispatched_ RSP_GUARDED_BY(mu_) = 0;
+  long workers_lost_ RSP_GUARDED_BY(mu_) = 0;
+  long local_fallback_shards_ RSP_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace rsp::dist

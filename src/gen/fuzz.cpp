@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "analysis/verifier.hpp"
 #include "api/service.hpp"
 #include "arch/presets.hpp"
 #include "sched/legality.hpp"
@@ -89,6 +90,24 @@ FuzzReport fuzz_one(std::uint64_t seed, const FuzzOptions& options) {
         report.ok = false;
         report.detail = "seed " + std::to_string(seed) + " on " + a.name +
                         ": illegal schedule: " + legality.violations.front();
+        return report;
+      }
+      // Pre-flight static lint: any error-severity finding is a divergence
+      // (the simulators would reject the context that check_legality just
+      // accepted, or vice versa). Warnings are expected — generated
+      // kernels legitimately carry dead address-chain ops (RSP-W002).
+      const analysis::LintReport lint = analysis::lint_context(ctx);
+      if (!lint.clean()) {
+        const analysis::Diagnostic* first = nullptr;
+        for (const analysis::Diagnostic& d : lint.diagnostics)
+          if (d.severity == analysis::Severity::kError) {
+            first = &d;
+            break;
+          }
+        report.ok = false;
+        report.detail = "seed " + std::to_string(seed) + " on " + a.name +
+                        ": lint error " + first->rule + ": " +
+                        first->message;
         return report;
       }
 

@@ -15,6 +15,8 @@
 // the bounded-capacity segmented-LRU eviction — lives in
 // runtime/striped_cache.hpp and is shared with the MappingCache; this
 // class adds the key/fingerprint composition and the persistence format.
+// It holds no locks of its own, so the thread-safety annotations
+// (util/thread_annotations.hpp) live entirely in the shared core.
 #pragma once
 
 #include <cstddef>

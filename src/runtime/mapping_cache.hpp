@@ -30,7 +30,8 @@
 //
 // Concurrency, capacity bounding and segmented-LRU eviction come from
 // StripedMemoCache (see runtime/striped_cache.hpp) — the same machinery
-// behind the EvalCache.
+// behind the EvalCache. This class holds no locks of its own, so the
+// thread-safety annotations live entirely in the shared core.
 #pragma once
 
 #include <cstddef>

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <functional>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -36,6 +35,7 @@
 
 #include "util/error.hpp"
 #include "util/hash.hpp"
+#include "util/mutex.hpp"
 
 namespace rsp::runtime {
 
@@ -169,7 +169,7 @@ class StripedMemoCache {
 
   std::optional<Value> lookup(const std::string& key) const {
     const Shard& shard = shard_for(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     const auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -182,7 +182,7 @@ class StripedMemoCache {
 
   void insert(const std::string& key, const Value& value) {
     Shard& shard = shard_for(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     shard.map.insert_or_assign(key, value);  // last writer wins
     if (shard_capacity_ > 0) {
       shard.lru.admit(key);
@@ -200,7 +200,7 @@ class StripedMemoCache {
     Shard& shard = shard_for(key);
     std::uint64_t ticket = 0;
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       const auto it = shard.map.find(key);
       if (it != shard.map.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
@@ -212,7 +212,7 @@ class StripedMemoCache {
       shard.pending[key] = ticket;
     }
     const auto drop_ticket = [&] {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       const auto it = shard.pending.find(key);
       if (it != shard.pending.end() && it->second == ticket)
         shard.pending.erase(it);
@@ -225,7 +225,7 @@ class StripedMemoCache {
       throw;
     }
     {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       // Publish only if this key's compute was not superseded: an
       // invalidation dropped the ticket (the key must stay gone) or a later
       // compute of the same key replaced it (that one publishes instead).
@@ -247,7 +247,7 @@ class StripedMemoCache {
   /// any in-flight compute of the key (see get_or_compute).
   bool invalidate(const std::string& key) {
     Shard& shard = shard_for(key);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const util::MutexLock lock(shard.mutex);
     const bool erased = shard.map.erase(key) > 0;
     shard.lru.erase(key);
     shard.pending.erase(key);
@@ -262,7 +262,7 @@ class StripedMemoCache {
   std::size_t invalidate_prefix(const std::string& prefix) {
     std::size_t removed = 0;
     for (Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       for (auto it = shard.map.begin(); it != shard.map.end();) {
         if (it->first.compare(0, prefix.size(), prefix) == 0) {
           shard.lru.erase(it->first);
@@ -286,7 +286,7 @@ class StripedMemoCache {
 
   void clear() {
     for (Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       shard.map.clear();
       shard.lru.clear();
       shard.pending.clear();
@@ -298,7 +298,7 @@ class StripedMemoCache {
   std::vector<std::pair<std::string, Value>> snapshot() const {
     std::vector<std::pair<std::string, Value>> out;
     for (const Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       for (const auto& [key, value] : shard.map) out.emplace_back(key, value);
     }
     return out;
@@ -312,7 +312,7 @@ class StripedMemoCache {
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.max_entries = max_entries_;
     for (const Shard& shard : shards_) {
-      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const util::MutexLock lock(shard.mutex);
       s.entries += shard.map.size();
     }
     return s;
@@ -323,14 +323,15 @@ class StripedMemoCache {
 
  private:
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, Value> map;
+    mutable util::Mutex mutex;
+    std::unordered_map<std::string, Value> map RSP_GUARDED_BY(mutex);
     /// Recency over the resident keys; mutable because a lookup hit is a
     /// (mutex-guarded) recency update on a logically-const table.
-    mutable SegmentedLru lru;
+    mutable SegmentedLru lru RSP_GUARDED_BY(mutex);
     /// In-flight computes: key → ticket of the compute allowed to publish.
-    std::unordered_map<std::string, std::uint64_t> pending;
-    std::uint64_t next_ticket = 0;
+    std::unordered_map<std::string, std::uint64_t> pending
+        RSP_GUARDED_BY(mutex);
+    std::uint64_t next_ticket RSP_GUARDED_BY(mutex) = 0;
   };
 
   // mix64 on top of FNV-1a: near-identical keys (consecutive parameter
@@ -347,7 +348,8 @@ class StripedMemoCache {
   // another entry exists. Eviction only removes *published* entries; an
   // in-flight compute keeps its ticket (eviction is capacity management,
   // not invalidation).
-  void evict_overflow(Shard& shard, const std::string& admitted) {
+  void evict_overflow(Shard& shard, const std::string& admitted)
+      RSP_REQUIRES(shard.mutex) {
     while (shard_capacity_ > 0 && shard.map.size() > shard_capacity_ &&
            !shard.lru.empty()) {
       shard.map.erase(shard.lru.pop_victim(admitted));

@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(int threads) {
     // already-started workers joinable — their ~thread would terminate the
     // process during unwinding. Shut them down, then propagate.
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       stopping_ = true;
     }
     ready_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -42,8 +42,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      lock.wait(ready_, [this]() RSP_REQUIRES(mutex_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and fully drained
       task = std::move(queue_.front());
       queue_.pop_front();

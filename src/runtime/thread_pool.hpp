@@ -12,12 +12,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace rsp::runtime {
@@ -45,7 +45,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> future = task->get_future();
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (stopping_)
         throw InvalidArgumentError("submit() on a stopping ThreadPool");
       queue_.emplace_back([task] { (*task)(); });
@@ -57,10 +57,10 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  std::condition_variable_any ready_;
+  std::deque<std::function<void()>> queue_ RSP_GUARDED_BY(mutex_);
+  bool stopping_ RSP_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

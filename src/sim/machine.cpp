@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/verifier.hpp"
 #include "sim/program.hpp"
 #include "util/error.hpp"
 
@@ -20,50 +21,10 @@ SimEngine parse_sim_engine(const std::string& name) {
 }
 
 void validate_context(const sched::ConfigurationContext& context) {
-  const arch::Architecture& a = context.architecture();
-  const auto& ops = context.ops();
-  const int length = context.length();
-  for (std::size_t i = 0; i < ops.size(); ++i) {
-    const sched::ScheduledOp& op = ops[i];
-    if (op.cycle < 0 || op.cycle >= length)
-      throw InvalidArgumentError(
-          "simulator: op " + std::to_string(i) + " issue cycle " +
-          std::to_string(op.cycle) + " out of range [0, " +
-          std::to_string(length) + ")");
-    if (op.latency < 1)
-      throw InvalidArgumentError("simulator: op " + std::to_string(i) +
-                                 " latency " + std::to_string(op.latency) +
-                                 " must be >= 1");
-    if (!a.array.contains(op.pe))
-      throw InvalidArgumentError(
-          "simulator: op " + std::to_string(i) + " placed on PE (" +
-          std::to_string(op.pe.row) + ", " + std::to_string(op.pe.col) +
-          ") outside the " + std::to_string(a.array.rows) + "x" +
-          std::to_string(a.array.cols) + " array");
-    for (const sched::ProgOperand& o : op.operands)
-      if (!o.is_imm() &&
-          (o.producer < 0 || o.producer >= context.size()))
-        throw InvalidArgumentError(
-            "simulator: op " + std::to_string(i) +
-            " operand references producer " + std::to_string(o.producer) +
-            " out of range [0, " + std::to_string(context.size()) + ")");
-    if (op.kind == ir::OpKind::kStore && op.operands.empty())
-      throw InvalidArgumentError("simulator: store op " + std::to_string(i) +
-                                 " has no value operand");
-    if (ir::is_critical_op(op.kind) && a.shares_multiplier() && op.unit) {
-      const arch::SharedUnitId& u = *op.unit;
-      const bool row_pool = u.pool == arch::SharedUnitId::Pool::kRow;
-      const int lines = row_pool ? a.array.rows : a.array.cols;
-      const int pool_size =
-          row_pool ? a.sharing.units_per_row : a.sharing.units_per_col;
-      if (u.line < 0 || u.line >= lines || u.index < 0 ||
-          u.index >= pool_size)
-        throw InvalidArgumentError("simulator: op " + std::to_string(i) +
-                                   " names shared unit " +
-                                   arch::to_string(u) +
-                                   " outside the architecture's pools");
-    }
-  }
+  // The per-op validation rules (and their exact messages) live in the
+  // static analysis layer, which is also the engine behind `rsp_cli lint`
+  // — one source of truth for legality.
+  analysis::verify_context(context);
 }
 
 SimResult Machine::run(const sched::ConfigurationContext& context,

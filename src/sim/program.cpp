@@ -3,27 +3,19 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/verifier.hpp"
 #include "util/error.hpp"
 
 namespace rsp::sim {
-namespace {
-
-// Dense integer slot of a shared unit: row pools first (rows ×
-// units_per_row, row-major), then column pools. validate_context has
-// already bounds-checked line/index, so the slot is in
-// [0, sharing.total_units(array)).
-int unit_slot(const arch::SharingPlan& sharing, const arch::ArraySpec& array,
-              const arch::SharedUnitId& unit) {
-  if (unit.pool == arch::SharedUnitId::Pool::kRow)
-    return unit.line * sharing.units_per_row + unit.index;
-  return array.rows * sharing.units_per_row +
-         unit.line * sharing.units_per_col + unit.index;
-}
-
-}  // namespace
 
 SimProgram SimProgram::compile(const sched::ConfigurationContext& context) {
+  // Both check passes live in the static analysis layer (the engine behind
+  // `rsp_cli lint`): per-op validation first (InvalidArgumentError), then
+  // the structural replay over the dense loop's issue order (Error). A
+  // context that compiles is exactly a context the linter reports no
+  // errors on, message for message.
   validate_context(context);
+  analysis::verify_structural(context);
 
   const arch::Architecture& a = context.architecture();
   const arch::ArraySpec& array = a.array;
@@ -101,99 +93,31 @@ SimProgram SimProgram::compile(const sched::ConfigurationContext& context) {
         static_cast<std::int64_t>(p.issue_order_.size()));
   }
 
-  // ----------------------- structural legality + schedule-static stats
-  // Replays every check of the dense reference loop over the same order.
-  // Idle cycles never mutate the dense loop's check state, so walking only
-  // the active cycles is equivalent. Per-cycle occupancy uses persistent
-  // integer-indexed tables with dirty lists instead of per-cycle maps.
+  // --------------------------------------------- schedule-static stats
+  // The structural replay already proved the schedule legal, so every
+  // counter the replay used to accumulate is a pure function of the op
+  // list: one flat pass, no occupancy tables.
   UtilizationStats& st = p.stats_;
   st.cycles = total_cycles;
   st.pe_issue_slots =
       static_cast<std::int64_t>(total_cycles) * array.num_pes();
-  const int total_units = a.sharing.total_units(array);
-  st.shared_unit_slots =
-      static_cast<std::int64_t>(total_cycles) * total_units;
-
-  std::vector<int> pe_busy_until(static_cast<std::size_t>(array.num_pes()),
-                                 0);
-  std::vector<int> ready_at(n, 0);
-  std::vector<int> row_reads(static_cast<std::size_t>(array.rows), 0);
-  std::vector<int> row_writes(static_cast<std::size_t>(array.rows), 0);
-  std::vector<char> unit_taken(static_cast<std::size_t>(total_units), 0);
-  std::vector<int> dirty_read_rows, dirty_write_rows, dirty_units;
-
-  for (std::size_t c = 0; c < p.active_cycles_.size(); ++c) {
-    const int t = p.active_cycles_[c];
-    for (int row : dirty_read_rows) row_reads[static_cast<std::size_t>(row)] = 0;
-    for (int row : dirty_write_rows)
-      row_writes[static_cast<std::size_t>(row)] = 0;
-    for (int unit : dirty_units) unit_taken[static_cast<std::size_t>(unit)] = 0;
-    dirty_read_rows.clear();
-    dirty_write_rows.clear();
-    dirty_units.clear();
-
-    for (std::int64_t s = p.issue_offsets_[c]; s < p.issue_offsets_[c + 1];
-         ++s) {
-      const auto i = static_cast<std::size_t>(p.issue_order_[s]);
-      const sched::ScheduledOp& op = ops[i];
-
-      const int pe = array.linear(op.pe);
-      if (pe_busy_until[static_cast<std::size_t>(pe)] > t)
-        throw Error("simulator: PE double-booked at cycle " +
-                    std::to_string(t));
-      pe_busy_until[static_cast<std::size_t>(pe)] =
-          t + (ir::is_critical_op(op.kind) ? op.latency : 1);
-
-      const auto require_ready = [&](const sched::ProgOperand& o) {
-        if (!o.is_imm() && ready_at[static_cast<std::size_t>(o.producer)] > t)
-          throw Error("simulator: operand consumed before ready at cycle " +
-                      std::to_string(t));
-      };
-
-      switch (op.kind) {
-        case ir::OpKind::kLoad:
-          if (++row_reads[static_cast<std::size_t>(op.pe.row)] >
-              array.read_buses_per_row)
-            throw Error("simulator: read-bus oversubscribed on row " +
-                        std::to_string(op.pe.row) + " at cycle " +
-                        std::to_string(t));
-          dirty_read_rows.push_back(op.pe.row);
-          ++st.bus_reads;
-          break;
-        case ir::OpKind::kStore:
-          if (++row_writes[static_cast<std::size_t>(op.pe.row)] >
-              array.write_buses_per_row)
-            throw Error("simulator: write-bus oversubscribed on row " +
-                        std::to_string(op.pe.row) + " at cycle " +
-                        std::to_string(t));
-          dirty_write_rows.push_back(op.pe.row);
-          require_ready(op.operands[0]);
-          ++st.bus_writes;
-          break;
-        case ir::OpKind::kNop:
-          break;
-        default: {
-          if (ir::is_critical_op(op.kind)) {
-            ++st.mult_ops;
-            if (a.shares_multiplier()) {
-              if (!op.unit)
-                throw Error("simulator: shared multiply without a unit");
-              const int unit = unit_slot(a.sharing, array, *op.unit);
-              if (unit_taken[static_cast<std::size_t>(unit)])
-                throw Error("simulator: unit " + arch::to_string(*op.unit) +
-                            " double-issued at cycle " + std::to_string(t));
-              unit_taken[static_cast<std::size_t>(unit)] = 1;
-              dirty_units.push_back(unit);
-              ++st.shared_unit_issues;
-            }
-          }
-          if (!op.operands.empty()) require_ready(op.operands[0]);
-          if (op.operands.size() > 1) require_ready(op.operands[1]);
-          break;
+  st.shared_unit_slots = static_cast<std::int64_t>(total_cycles) *
+                         a.sharing.total_units(array);
+  for (const sched::ScheduledOp& op : ops) {
+    ++st.pe_issues;
+    switch (op.kind) {
+      case ir::OpKind::kLoad:
+        ++st.bus_reads;
+        break;
+      case ir::OpKind::kStore:
+        ++st.bus_writes;
+        break;
+      default:
+        if (ir::is_critical_op(op.kind)) {
+          ++st.mult_ops;
+          if (a.shares_multiplier()) ++st.shared_unit_issues;
         }
-      }
-      ready_at[i] = t + op.latency;
-      ++st.pe_issues;
+        break;
     }
   }
   return p;

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/context_json.hpp"
+#include "analysis/verifier.hpp"
 #include "api/protocol.hpp"
 #include "api/serve.hpp"
 #include "api/service.hpp"
@@ -556,6 +558,83 @@ int cmd_bitstream(const api::Service& service, const std::string& kernel,
   return 0;
 }
 
+// Static lint: either a catalogue kernel scheduled through the service
+// (`--kernel`/`--arch`, both optional — empty means "everything"), or a
+// serialized schedule document (`--context FILE`,
+// src/analysis/context_json.hpp) that never has to be constructible, so
+// fuzz repros and hand-written illegal schedules lint too. Error findings
+// print to stderr (rule id first) and the exit code is 1 whenever any
+// error-severity diagnostic fired; warnings alone keep exit 0.
+int cmd_lint(const std::vector<std::string>& args) {
+  std::string kernel, arch, context_file;
+  bool as_json = false;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw rsp::InvalidArgumentError(flag + " requires a value");
+      return args[++i];
+    };
+    if (flag == "--kernel") {
+      kernel = value();
+    } else if (flag == "--arch") {
+      arch = value();
+    } else if (flag == "--context") {
+      context_file = value();
+    } else if (flag == "--json") {
+      as_json = true;
+    } else {
+      throw rsp::InvalidArgumentError(
+          "unknown flag '" + flag +
+          "' for lint (--kernel K, --arch A, --context FILE, --json)");
+    }
+  }
+
+  api::LintResponse resp;
+  if (!context_file.empty()) {
+    if (!kernel.empty() || !arch.empty())
+      throw rsp::InvalidArgumentError(
+          "--context lints a schedule document; it excludes --kernel/--arch");
+    std::ifstream in(context_file);
+    if (!in)
+      throw rsp::InvalidArgumentError("cannot open '" + context_file + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    const analysis::ScheduleDocument doc =
+        analysis::parse_schedule(text.str());
+    api::LintResponse::Row row;
+    row.kernel = context_file;
+    row.arch = doc.architecture.name;
+    row.report = analysis::lint_schedule(doc.architecture, doc.ops);
+    resp.rows.push_back(std::move(row));
+  } else {
+    api::ServiceOptions options;
+    options.threads = 1;
+    options.max_inflight = 1;
+    resp = api::Service(options).lint({kernel, arch});
+  }
+
+  if (as_json) {
+    std::cout << api::to_body(resp).dump() << "\n";
+  } else {
+    for (const api::LintResponse::Row& row : resp.rows) {
+      for (const analysis::Diagnostic& d : row.report.diagnostics) {
+        std::ostream& out =
+            d.severity == analysis::Severity::kError ? std::cerr : std::cout;
+        out << d.rule << " " << analysis::severity_name(d.severity) << " ["
+            << row.kernel << " on " << row.arch << "]: " << d.message;
+        if (d.locus.op >= 0) out << " (op " << d.locus.op << ")";
+        out << "\n    hint: " << d.hint << "\n";
+      }
+    }
+    std::cout << "linted " << resp.rows.size() << " configuration"
+              << (resp.rows.size() == 1 ? "" : "s") << ": "
+              << resp.error_count() << " errors, " << resp.warning_count()
+              << " warnings\n";
+  }
+  return resp.clean() ? 0 : 1;
+}
+
 // Usage errors (no command, unknown command, missing arguments) print the
 // synopsis to stderr and exit 1 so scripts and CI can detect misuse. Every
 // subcommand and flag is enumerated here; tools/rsp_cli.cpp and
@@ -618,6 +697,15 @@ int usage() {
          "kernels;\n"
          "                                    nonzero exit prints the "
          "reproducing seed\n"
+         "  lint [--kernel K] [--arch A] [--context FILE] [--json]\n"
+         "                                    static schedule verification "
+         "(rule ids,\n"
+         "                                    docs/ANALYSIS.md); no flags "
+         "lint the full\n"
+         "                                    catalogue, --context lints a "
+         "schedule\n"
+         "                                    document; exit 1 on any error "
+         "finding\n"
          "  rtl <arch>                        emit structural Verilog to "
          "stdout\n"
          "  dot <kernel>                      emit the body DFG in Graphviz "
@@ -645,6 +733,7 @@ int main(int argc, char** argv) {
     if (cmd == "explore" || cmd == "dse") return cmd_explore(args);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "fuzz") return cmd_fuzz(args);
+    if (cmd == "lint") return cmd_lint(args);
 
     // One service per invocation, always with a single dispatch thread —
     // the CLI runs exactly one request, so only eval/explore's inner
